@@ -1,0 +1,38 @@
+//! End-to-end benchmarks: the compiler pipeline itself (profile +
+//! classify + transform) and whole-program execution per configuration.
+//! Wall-clock numbers here depend on the host's core count; the figure
+//! binaries report host-independent simulated cycles instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privateer::pipeline::{privatize, PipelineConfig};
+use privateer_bench::{run_privateer, run_sequential, Scale};
+use privateer_workloads::dijkstra;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let p = dijkstra::Params::train();
+    let m = dijkstra::build(&p);
+    c.bench_function("pipeline_privatize_dijkstra_train", |b| {
+        b.iter(|| {
+            let r = privatize(&m, &PipelineConfig::default()).unwrap();
+            black_box(r.reports.len());
+        });
+    });
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let wl = &privateer_bench::workloads()[1]; // dijkstra
+    let m = wl.build(Scale::Train);
+    let mut group = c.benchmark_group("dijkstra_train_execution");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(run_sequential(&m).insts));
+    });
+    group.bench_function("privateer_4_workers", |b| {
+        b.iter(|| black_box(run_privateer(&m, 4, 0.0).sim_time()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Microbenchmarks of the runtime primitives the paper's overheads hinge
+//! on: shadow-metadata transitions (the per-byte privacy check), COW page
+//! forking (worker replication), checkpoint merging, and the supporting
+//! data structures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use privateer_ir::Heap;
+use privateer_profile::IntervalMap;
+use privateer_runtime::checkpoint::{collect_contribution, CheckpointMerge};
+use privateer_runtime::worker::WorkerRuntime;
+use privateer_vm::{AddressSpace, RegionAllocator, RuntimeIface};
+use std::hint::black_box;
+
+fn bench_shadow_transitions(c: &mut Criterion) {
+    // The fast-phase privacy check: one Table 2 transition per byte.
+    c.bench_function("privacy_check_64B_write_then_read", |b| {
+        let addr = Heap::Private.base() + 0x4000;
+        b.iter_batched(
+            || (WorkerRuntime::new(0, 0.0, 0), AddressSpace::new()),
+            |(mut rt, mut mem)| {
+                rt.begin_iteration(0, 0).unwrap();
+                rt.private_write(addr, 64, &mut mem).unwrap();
+                rt.private_read(addr, 64, &mut mem).unwrap();
+                black_box(mem.read_u8(addr));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_cow_fork(c: &mut Criterion) {
+    // Worker replication: fork a populated space, then dirty one page.
+    let mut parent = AddressSpace::new();
+    for p in 0..256u64 {
+        parent.write_u64(Heap::Private.base() + p * 4096, p);
+    }
+    c.bench_function("cow_fork_256_pages_dirty_1", |b| {
+        b.iter(|| {
+            let mut child = parent.fork();
+            child.write_u64(Heap::Private.base() + 42 * 4096, 7);
+            black_box(child.page_count());
+        });
+    });
+}
+
+fn bench_checkpoint_merge(c: &mut Criterion) {
+    // One worker's contribution of 16 written pages merged and committed.
+    c.bench_function("checkpoint_merge_16_pages", |b| {
+        b.iter_batched(
+            || {
+                let mut rt = WorkerRuntime::new(0, 0.0, 0);
+                let mut mem = AddressSpace::new();
+                rt.begin_iteration(0, 0).unwrap();
+                for p in 0..16u64 {
+                    let a = Heap::Private.base() + 0x1000 + p * 4096;
+                    rt.private_write(a, 256, &mut mem).unwrap();
+                    mem.write_bytes(a, &[0xAB; 256]);
+                }
+                rt.end_iteration().unwrap();
+                let contrib = collect_contribution(0, 0, &mem, &[], vec![]);
+                (contrib, AddressSpace::new())
+            },
+            |(contrib, mut committed)| {
+                let mut merge = CheckpointMerge::new(0);
+                merge.add(contrib, &committed).unwrap();
+                merge.commit(&mut committed);
+                black_box(committed.page_count());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_interval_map(c: &mut Criterion) {
+    // The pointer-to-object profiler's core structure.
+    c.bench_function("interval_map_insert_query_1k", |b| {
+        b.iter(|| {
+            let mut m = IntervalMap::new();
+            for i in 0..1000u64 {
+                m.insert(i * 64, i * 64 + 48, i);
+            }
+            let mut hits = 0u64;
+            for i in 0..1000u64 {
+                if m.get(i * 64 + 16).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits);
+        });
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("region_allocator_alloc_free_1k", |b| {
+        b.iter(|| {
+            let mut a = RegionAllocator::new(0x1000, 0x100_0000);
+            let ptrs: Vec<u64> = (0..1000).map(|_| a.alloc(48).unwrap()).collect();
+            for p in ptrs {
+                a.free(p).unwrap();
+            }
+            black_box(a.live_count);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_shadow_transitions,
+    bench_cow_fork,
+    bench_checkpoint_merge,
+    bench_interval_map,
+    bench_allocator
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Table 1: comparison of Privateer with prior privatization and
+//! reduction schemes — regenerated as an *applicability matrix* by
+//! actually running each implemented scheme against each evaluated
+//! program's hot loop.
+
+use privateer::baseline::{doall_only, lrpd_applicable};
+use privateer::pipeline::{privatize, PipelineConfig};
+use privateer_bench::{workloads, Scale};
+use privateer_ir::builder::FunctionBuilder;
+use privateer_ir::loops::LoopInfo;
+use privateer_ir::{CmpOp, Module, Type, Value};
+use privateer_vm::load_module;
+
+/// A FORTRAN-flavoured affine array kernel — the programs prior work *was*
+/// built for — as a control row: every scheme should handle it.
+fn array_kernel() -> Module {
+    let mut m = Module::new("array-kernel");
+    let a = m.add_global("a", 8 * 64);
+    let mut b = FunctionBuilder::new("main", vec![], None);
+    let pre = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let (i, phi) = b.phi(Type::I64);
+    b.add_phi_incoming(phi, pre, Value::const_i64(0));
+    let c = b.icmp(CmpOp::Lt, i, Value::const_i64(64));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let slot = b.gep(Value::Global(a), i, 8, 0);
+    let v = b.mul(Type::I64, i, i);
+    b.store(Type::I64, v, slot);
+    let i2 = b.add(Type::I64, i, Value::const_i64(1));
+    b.add_phi_incoming(phi, body, i2);
+    b.br(header);
+    b.switch_to(exit);
+    let s = b.gep(Value::Global(a), Value::const_i64(63), 8, 0);
+    let v = b.load(Type::I64, s);
+    b.print_i64(v);
+    b.ret(None);
+    m.add_function(b.finish());
+    m
+}
+
+fn main() {
+    println!("Table 1 — applicability on the evaluated programs");
+    println!("(Privateer = this system; LRPD = array-only shadow test;");
+    println!(" static DOALL = non-speculative affine analysis)\n");
+    println!(
+        "{:<14}{:>12}{:>14}{:>16}",
+        "program", "privateer", "array LRPD", "static DOALL"
+    );
+
+    let mut rows: Vec<(String, Module)> = workloads()
+        .into_iter()
+        .map(|wl| (wl.name.to_string(), wl.build(Scale::Train)))
+        .collect();
+    rows.push(("array-kernel".into(), array_kernel()));
+    for (name, module) in rows {
+        // Privateer: does the full pipeline select the hot loop?
+        let piv = privatize(&module, &PipelineConfig::default())
+            .map(|r| !r.reports.is_empty())
+            .unwrap_or(false);
+
+        // Find the hottest loop for the prior-work tests.
+        let image = load_module(&module);
+        let (profile, _) = privateer_profile::profile_module(&module, &image).unwrap();
+        let (hot, _) = profile.loops_by_weight()[0];
+        let li = LoopInfo::compute(module.func(hot.0));
+        let lp = li.get(hot.1);
+
+        // Array-only LRPD: applicable to the hot loop at all?
+        let lrpd = lrpd_applicable(&module, hot.0, lp).is_ok();
+
+        // Static DOALL: does it prove the *hot* loop (not merely some
+        // trivial init loop)?
+        let st = doall_only(&module)
+            .parallelized
+            .iter()
+            .any(|&(f, l)| (f, l) == hot);
+
+        let mark = |b: bool| if b { "yes" } else { "no" };
+        println!(
+            "{:<14}{:>12}{:>14}{:>16}",
+            name,
+            mark(piv),
+            mark(lrpd),
+            mark(st)
+        );
+    }
+
+    println!("\nCapability summary (cf. the paper's Table 1):");
+    println!("  Privateer   : fully automatic; pointers + dynamic allocation;");
+    println!("                speculative privatization criterion; heap-separation");
+    println!("                memory layout; speculative reductions.");
+    println!("  array LRPD  : speculative criterion, but layout limited to");
+    println!("                statically named arrays — fails on linked structures,");
+    println!("                dynamic allocation, and pointers loaded from memory.");
+    println!("  static DOALL: no speculation; both criterion and layout limited by");
+    println!("                static analysis — fails wherever may-alias or");
+    println!("                non-affine subscripts appear.");
+}

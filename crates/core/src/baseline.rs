@@ -1,0 +1,426 @@
+//! The comparison systems: the non-speculative static-analysis DOALL
+//! baseline (Figure 7's "DOALL-only") and an array-only LRPD applicability
+//! test (Table 1's prior-work row).
+
+use crate::outline::{check_outlineable, outline_loop};
+use privateer_ir::analysis::affine::{cross_iteration_test, AffineCtx, DepTest};
+use privateer_ir::analysis::pointsto::PointsTo;
+use privateer_ir::counted::{match_counted_loop, CountedLoop};
+use privateer_ir::loops::{LoopId, LoopInfo};
+use privateer_ir::{FuncId, InstKind, Module, PlanEntry, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why static analysis rejects a loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticReject(pub String);
+
+impl fmt::Display for StaticReject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "static DOALL rejected: {}", self.0)
+    }
+}
+
+fn reject<T>(msg: impl Into<String>) -> Result<T, StaticReject> {
+    Err(StaticReject(msg.into()))
+}
+
+/// Prove (or fail to prove) that a counted loop is DOALL-legal using only
+/// static analysis: no calls, no allocation, no I/O, and every store
+/// provably independent of every other access across iterations (affine
+/// subscript tests plus points-to disjointness).
+///
+/// This is deliberately about as strong as the analyses prior array-based
+/// systems relied on — the paper's point is that such analysis fails on
+/// pointer-based programs.
+///
+/// # Errors
+///
+/// Describes the first reason the proof fails.
+pub fn prove_static_doall(
+    module: &Module,
+    pts: &PointsTo,
+    func: FuncId,
+    cl: &CountedLoop,
+    lp: &privateer_ir::loops::Loop,
+) -> Result<(), StaticReject> {
+    let f = module.func(func);
+    check_outlineable(f, cl, lp).map_err(|e| StaticReject(e.to_string()))?;
+
+    // Collect loop accesses; reject anything static analysis cannot see
+    // through.
+    let mut accesses: Vec<(Value, u32, bool)> = Vec::new(); // (ptr, size, is_store)
+    for &bb in &lp.blocks {
+        if bb == cl.header {
+            continue;
+        }
+        for &i in &f.block(bb).insts {
+            match &f.inst(i).kind {
+                InstKind::Load(ty, p) => accesses.push((*p, ty.size(), false)),
+                InstKind::Store(ty, _, p) => accesses.push((*p, ty.size(), true)),
+                InstKind::Call(..) => return reject("loop contains a call"),
+                InstKind::Malloc(_) | InstKind::Alloca { .. } | InstKind::Free(_) => {
+                    return reject("loop allocates memory")
+                }
+                InstKind::CallIntrinsic(which, _) => {
+                    use privateer_ir::Intrinsic::*;
+                    match which {
+                        Sqrt | Exp | Log | FAbs => {}
+                        _ => return reject(format!("loop contains intrinsic {}", which.name())),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let ctx = AffineCtx {
+        func: f,
+        loop_blocks: &lp.blocks,
+        iv: cl.iv,
+    };
+    for &(sp, ssize, s_store) in &accesses {
+        if !s_store {
+            continue;
+        }
+        // Every store is tested against every access *including itself*:
+        // the same store in two different iterations is an output
+        // dependence.
+        for &(ap, asize, _) in &accesses {
+            // Different objects: fine.
+            if !pts.may_alias(func, sp, ap) {
+                continue;
+            }
+            let (Some(a), Some(b)) = (ctx.affine_addr(sp), ctx.affine_addr(ap)) else {
+                return reject("non-affine subscript on a may-aliasing access");
+            };
+            if a.base != b.base {
+                // May alias, but we cannot relate the two bases.
+                return reject("may-aliasing accesses with different bases");
+            }
+            match cross_iteration_test(&a.lin, ssize, &b.lin, asize) {
+                DepTest::NoCrossIterationDep => {}
+                DepTest::MayDep => {
+                    return reject("possible cross-iteration dependence on a store")
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of transforming a module with the DOALL-only baseline.
+#[derive(Debug)]
+pub struct DoallOnly {
+    /// The transformed module (unchecked parallel plans installed).
+    pub module: Module,
+    /// The loops that were proven and outlined.
+    pub parallelized: Vec<(FuncId, LoopId)>,
+    /// Hot-loop candidates rejected by static analysis, with reasons.
+    pub rejected: Vec<(FuncId, LoopId, String)>,
+}
+
+/// Transform every provable loop for the non-speculative engine
+/// (`privateer_runtime::UncheckedDoallRuntime`). Outer loops are preferred;
+/// nested or simultaneously active loops are skipped.
+pub fn doall_only(input: &Module) -> DoallOnly {
+    let mut module = input.clone();
+    let pts = PointsTo::analyze(&module);
+    let mut parallelized = Vec::new();
+    let mut rejected = Vec::new();
+
+    // Candidate loops, outermost (largest) first, per function. Chosen
+    // loops are remembered by header block: outlining earlier loops in the
+    // same function invalidates loop ids but not block ids.
+    let mut chosen: Vec<(FuncId, LoopId, privateer_ir::BlockId)> = Vec::new();
+    for f in module.func_ids().collect::<Vec<_>>() {
+        let li = LoopInfo::compute(module.func(f));
+        let mut loops: Vec<(LoopId, usize)> = li
+            .iter()
+            .map(|(id, lp)| (id, lp.blocks.len()))
+            .collect();
+        loops.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (l, _) in loops {
+            // Skip loops nested inside an already chosen loop.
+            let lp = li.get(l);
+            let overlaps = chosen.iter().any(|&(cf, cl, _)| {
+                cf == f && {
+                    let other = li.get(cl);
+                    other.blocks.intersection(&lp.blocks).next().is_some()
+                }
+            });
+            if overlaps {
+                continue;
+            }
+            let Some(counted) = match_counted_loop(module.func(f), l, lp) else {
+                rejected.push((f, l, "not a counted loop".into()));
+                continue;
+            };
+            match prove_static_doall(&module, &pts, f, &counted, lp) {
+                Ok(()) => chosen.push((f, l, lp.header)),
+                Err(e) => rejected.push((f, l, e.0)),
+            }
+        }
+    }
+
+    for (f, orig_l, header) in chosen {
+        let li = LoopInfo::compute(module.func(f));
+        let Some(l) = li.loop_with_header(header) else {
+            rejected.push((f, orig_l, "loop vanished during transformation".into()));
+            continue;
+        };
+        let lp = li.get(l).clone();
+        let counted = match_counted_loop(module.func(f), l, &lp).expect("still canonical");
+        let plan_index = module.plans.len() as u32;
+        match outline_loop(&mut module, f, &counted, &lp, plan_index) {
+            Ok(out) => {
+                module.plans.push(PlanEntry {
+                    body: out.body,
+                    recovery: out.recovery,
+                });
+                parallelized.push((f, orig_l));
+            }
+            Err(e) => rejected.push((f, orig_l, e.to_string())),
+        }
+    }
+
+    DoallOnly {
+        module,
+        parallelized,
+        rejected,
+    }
+}
+
+/// Array-only LRPD applicability (Table 1): the LRPD test instruments
+/// statically identified *arrays* with shadow arrays. It is inapplicable
+/// when the loop traffics in pointers it loaded from memory, allocates
+/// dynamically, or follows linked structures.
+///
+/// # Errors
+///
+/// Describes why the loop is outside LRPD's model.
+pub fn lrpd_applicable(
+    module: &Module,
+    func: FuncId,
+    lp: &privateer_ir::loops::Loop,
+) -> Result<(), StaticReject> {
+    // The whole dynamic region matters: follow calls too.
+    let region = crate::footprint::Region::compute(
+        module,
+        func,
+        // Region::compute re-derives LoopInfo; find this loop's id.
+        LoopInfo::compute(module.func(func))
+            .iter()
+            .find(|(_, l)| l.header == lp.header)
+            .map(|(id, _)| id)
+            .expect("loop exists"),
+    );
+    let mut funcs: BTreeSet<FuncId> = region.callees.clone();
+    funcs.insert(func);
+    for site in region.sites(module) {
+        let inst = module.func(site.0).inst(site.1);
+        match &inst.kind {
+            InstKind::Malloc(_) | InstKind::Free(_) => {
+                return reject("dynamic allocation in the loop (LRPD handles arrays only)")
+            }
+            InstKind::CallIntrinsic(privateer_ir::Intrinsic::HAlloc(_), _) => {
+                return reject("dynamic allocation in the loop (LRPD handles arrays only)")
+            }
+            InstKind::Load(ty, _) if ty.is_ptr() => {
+                return reject("pointer loaded from memory (linked data structure)")
+            }
+            InstKind::Store(ty, _, _) if ty.is_ptr() => {
+                return reject("pointer stored to memory (linked data structure)")
+            }
+            _ => {}
+        }
+    }
+    // Every access must be rooted at a statically named array (a global).
+    for site in region.sites(module) {
+        let f = module.func(site.0);
+        let ptr = match f.inst(site.1).kind {
+            InstKind::Load(_, p) => p,
+            InstKind::Store(_, _, p) => p,
+            _ => continue,
+        };
+        let mut cur = ptr;
+        let rooted = loop {
+            match cur {
+                Value::Global(_) => break true,
+                Value::Inst(id) => match &f.inst(id).kind {
+                    InstKind::Gep { base, .. } => cur = *base,
+                    _ => break false,
+                },
+                _ => break false,
+            }
+        };
+        if !rooted {
+            return reject("access not rooted at a statically named array");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_ir::builder::FunctionBuilder;
+    use privateer_ir::{CmpOp, Type};
+    use privateer_runtime::UncheckedDoallRuntime;
+    use privateer_vm::{load_module, Interp, NopHooks};
+
+    /// for i in 0..n { a[i] = a[i] * 2 } — provable.
+    fn affine_loop() -> Module {
+        let mut m = Module::new("aff");
+        let a = m.add_global_init(
+            "a",
+            8 * 16,
+            privateer_ir::GlobalInit::I64s((1..=16).collect()),
+        );
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Lt, i, Value::const_i64(16));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let slot = b.gep(Value::Global(a), i, 8, 0);
+        let v = b.load(Type::I64, slot);
+        let v2 = b.mul(Type::I64, v, Value::const_i64(2));
+        b.store(Type::I64, v2, slot);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        let s = b.gep(Value::Global(a), Value::const_i64(15), 8, 0);
+        let v = b.load(Type::I64, s);
+        b.print_i64(v);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    /// for i in 1..n { a[i] = a[i-1] } — carried dependence.
+    fn carried_loop() -> Module {
+        let mut m = Module::new("car");
+        let a = m.add_global("a", 8 * 16);
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(1));
+        let c = b.icmp(CmpOp::Lt, i, Value::const_i64(16));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let prev = b.gep(Value::Global(a), i, 8, -8);
+        let v = b.load(Type::I64, prev);
+        let slot = b.gep(Value::Global(a), i, 8, 0);
+        b.store(Type::I64, v, slot);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn proves_affine_and_rejects_carried() {
+        let m = affine_loop();
+        let result = doall_only(&m);
+        assert_eq!(result.parallelized.len(), 1);
+
+        let m = carried_loop();
+        let result = doall_only(&m);
+        assert!(result.parallelized.is_empty());
+        assert!(result.rejected.iter().any(|(_, _, r)| r.contains("dependence")));
+    }
+
+    #[test]
+    fn doall_only_executes_correctly() {
+        let m = affine_loop();
+        let result = doall_only(&m);
+        let image = load_module(&result.module);
+        let mut interp = Interp::new(
+            &result.module,
+            &image,
+            NopHooks,
+            UncheckedDoallRuntime::new(&image, 4),
+        );
+        interp.run_main().unwrap();
+        assert_eq!(interp.rt.take_output(), b"32\n");
+    }
+
+    #[test]
+    fn rejects_loop_with_malloc() {
+        let mut m = Module::new("mal");
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Lt, i, Value::const_i64(4));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let p = b.malloc(Value::const_i64(8));
+        b.store(Type::I64, i, p);
+        b.free(p);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        m.add_function(b.finish());
+        let result = doall_only(&m);
+        assert!(result.parallelized.is_empty());
+        assert!(result.rejected.iter().any(|(_, _, r)| r.contains("allocates")));
+    }
+
+    #[test]
+    fn lrpd_array_yes_pointers_no() {
+        let m = affine_loop();
+        let main = m.main().unwrap();
+        let li = LoopInfo::compute(m.func(main));
+        let (_, lp) = li.iter().next().unwrap();
+        lrpd_applicable(&m, main, lp).unwrap();
+
+        // A loop storing pointers (a linked list) is outside LRPD's model.
+        let mut m2 = Module::new("list");
+        let head = m2.add_global("head", 8);
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Lt, i, Value::const_i64(4));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let n = b.malloc(Value::const_i64(16));
+        let old = b.load(Type::Ptr, Value::Global(head));
+        b.store(Type::Ptr, old, n);
+        b.store(Type::Ptr, n, Value::Global(head));
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let main2 = m2.add_function(b.finish());
+        let li2 = LoopInfo::compute(m2.func(main2));
+        let (_, lp2) = li2.iter().next().unwrap();
+        assert!(lrpd_applicable(&m2, main2, lp2).is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! Object classification and heap assignment: Algorithm 1 of the paper.
+
+use crate::footprint::{get_footprint, site_footprint, Footprint, Region};
+use privateer_ir::{Heap, Module, ReduxOp};
+use privateer_profile::{CallSite, ObjectName, Profile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The five-way partition of a loop's memory footprint (§4.2, Figure 4).
+#[derive(Debug, Clone, Default)]
+pub struct HeapAssignment {
+    /// Objects allocated and freed within single iterations.
+    pub short_lived: BTreeSet<ObjectName>,
+    /// Reduction objects with their operator.
+    pub redux: BTreeMap<ObjectName, ReduxOp>,
+    /// Objects carrying real cross-iteration flow dependences.
+    pub unrestricted: BTreeSet<ObjectName>,
+    /// Privatizable written objects.
+    pub private: BTreeSet<ObjectName>,
+    /// Objects only read.
+    pub read_only: BTreeSet<ObjectName>,
+}
+
+impl HeapAssignment {
+    /// The heap of `object`, if it is classified.
+    pub fn heap_of(&self, object: &ObjectName) -> Option<Heap> {
+        if self.short_lived.contains(object) {
+            Some(Heap::ShortLived)
+        } else if self.redux.contains_key(object) {
+            Some(Heap::Redux)
+        } else if self.unrestricted.contains(object) {
+            Some(Heap::Unrestricted)
+        } else if self.private.contains(object) {
+            Some(Heap::Private)
+        } else if self.read_only.contains(object) {
+            Some(Heap::ReadOnly)
+        } else {
+            None
+        }
+    }
+
+    /// All classified objects with their heaps.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectName, Heap)> {
+        self.short_lived
+            .iter()
+            .map(|o| (o, Heap::ShortLived))
+            .chain(self.redux.keys().map(|o| (o, Heap::Redux)))
+            .chain(self.unrestricted.iter().map(|o| (o, Heap::Unrestricted)))
+            .chain(self.private.iter().map(|o| (o, Heap::Private)))
+            .chain(self.read_only.iter().map(|o| (o, Heap::ReadOnly)))
+    }
+
+    /// Count of objects per heap, in `Heap::ALL` order (Table 3's
+    /// "Static Allocation Sites" row).
+    pub fn counts(&self) -> [usize; 5] {
+        [
+            self.read_only.len(),
+            self.private.len(),
+            self.redux.len(),
+            self.short_lived.len(),
+            self.unrestricted.len(),
+        ]
+    }
+
+    /// Whether the assignment permits DOALL parallelization: no
+    /// unrestricted objects remain.
+    pub fn is_parallelizable(&self) -> bool {
+        self.unrestricted.is_empty()
+    }
+}
+
+/// Classify the footprint of one loop (Algorithm 1).
+///
+/// `ignored_deps` names profiled cross-iteration flow dependences that a
+/// later speculation (value prediction) will remove; they do not force
+/// objects into the unrestricted heap.
+pub fn classify(
+    module: &Module,
+    region: &Region,
+    profile: &Profile,
+    ignored_deps: &BTreeSet<(CallSite, CallSite)>,
+) -> (HeapAssignment, Footprint) {
+    let fp = get_footprint(module, region, profile);
+    let lp = (region.func, region.loop_id);
+    let mut a = HeapAssignment::default();
+
+    // Short-lived: objects in the footprint whose every instance allocated
+    // under this loop died within its iteration.
+    for o in fp.write.union(&fp.read) {
+        if profile.is_short_lived(o, lp) {
+            a.short_lived.insert(o.clone());
+        }
+    }
+
+    // Reduction objects (single associative-commutative operator, not
+    // accessed otherwise).
+    for (o, &op) in &fp.redux {
+        if !fp.read.contains(o) && !fp.write.contains(o) && !a.short_lived.contains(o) {
+            a.redux.insert(o.clone(), op);
+        }
+    }
+
+    // Unrestricted: objects through which profiled cross-iteration flow
+    // dependences pass, unless already short-lived or reduction.
+    for (&(src, dst), _info) in profile.deps_of(lp) {
+        if ignored_deps.contains(&(src, dst)) {
+            continue;
+        }
+        // Only dependences whose endpoints are in this region constrain it.
+        if !region.contains(src) || !region.contains(dst) {
+            continue;
+        }
+        let (_, wa, xa) = site_footprint(module, profile, src, &fp);
+        let (rb, _, xb) = site_footprint(module, profile, dst, &fp);
+        let srcs: BTreeSet<&ObjectName> = wa.union(&xa).copied().collect();
+        let dsts: BTreeSet<&ObjectName> = rb.union(&xb).copied().collect();
+        for o in srcs.intersection(&dsts) {
+            if !a.short_lived.contains(*o) && !a.redux.contains_key(*o) {
+                a.unrestricted.insert((*o).clone());
+            }
+        }
+    }
+
+    // Private: everything else written. Read-only: everything else read.
+    for o in &fp.write {
+        if !a.short_lived.contains(o) && !a.unrestricted.contains(o) && !a.redux.contains_key(o) {
+            a.private.insert(o.clone());
+        }
+    }
+    for o in &fp.read {
+        if !a.short_lived.contains(o)
+            && !a.unrestricted.contains(o)
+            && !a.redux.contains_key(o)
+            && !a.private.contains(o)
+        {
+            a.read_only.insert(o.clone());
+        }
+    }
+    (a, fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_ir::builder::FunctionBuilder;
+    use privateer_ir::{BinOp, CmpOp, Type, Value};
+    use privateer_profile::profile_module;
+    use privateer_vm::load_module;
+
+    /// The motivating pattern (paper Figure 2/4, miniaturized):
+    ///
+    /// * `work` — written then read each iteration (private);
+    /// * `adj` — only read (read-only);
+    /// * `acc` — `+=` reduction;
+    /// * list nodes — malloc/free within the iteration (short-lived);
+    /// * `carried` — genuine cross-iteration flow (unrestricted).
+    fn figure2_like() -> Module {
+        let mut m = Module::new("fig2");
+        let work = m.add_global("work", 64);
+        let adj = m.add_global_init("adj", 64, privateer_ir::GlobalInit::I64s(vec![1; 8]));
+        let acc = m.add_global("acc", 8);
+        let carried = m.add_global("carried", 8);
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Lt, i, Value::const_i64(8));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        // work[i%8] = adj[i%8] (write work, read adj)
+        let idx = b.bin(BinOp::SRem, Type::I64, i, Value::const_i64(8));
+        let wslot = b.gep(Value::Global(work), idx, 8, 0);
+        let aslot = b.gep(Value::Global(adj), idx, 8, 0);
+        let av = b.load(Type::I64, aslot);
+        b.store(Type::I64, av, wslot);
+        let wv = b.load(Type::I64, wslot);
+        // acc += wv
+        let a0 = b.load(Type::I64, Value::Global(acc));
+        let a1 = b.add(Type::I64, a0, wv);
+        b.store(Type::I64, a1, Value::Global(acc));
+        // node = malloc; *node = i; free(node)
+        let p = b.malloc(Value::const_i64(8));
+        b.store(Type::I64, i, p);
+        b.free(p);
+        // carried = carried + 1 ... but read via a *different* pointer so
+        // it is not a syntactic reduction pair: copy through a temp shape.
+        let cv = b.load(Type::I64, Value::Global(carried));
+        let cslot = b.gep(Value::Global(carried), Value::const_i64(0), 0, 0);
+        let c1 = b.sub(Type::I64, cv, Value::const_i64(-1));
+        b.store(Type::I64, c1, cslot);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        m.add_function(b.finish());
+        privateer_ir::verify::verify_module(&m).unwrap();
+        m
+    }
+
+    fn classify_figure2() -> (Module, HeapAssignment) {
+        let m = figure2_like();
+        let image = load_module(&m);
+        let (profile, _) = profile_module(&m, &image).unwrap();
+        let main = m.main().unwrap();
+        let li = privateer_ir::loops::LoopInfo::compute(m.func(main));
+        let (lid, _) = li.iter().next().unwrap();
+        let region = Region::compute(&m, main, lid);
+        let (a, _) = classify(&m, &region, &profile, &BTreeSet::new());
+        (m, a)
+    }
+
+    #[test]
+    fn five_way_partition_matches_figure4() {
+        let (m, a) = classify_figure2();
+        let name = |s: &str| ObjectName::Global(m.global_by_name(s).unwrap());
+        assert_eq!(a.heap_of(&name("work")), Some(Heap::Private));
+        assert_eq!(a.heap_of(&name("adj")), Some(Heap::ReadOnly));
+        assert_eq!(a.heap_of(&name("acc")), Some(Heap::Redux));
+        assert_eq!(a.heap_of(&name("carried")), Some(Heap::Unrestricted));
+        assert!(a
+            .short_lived
+            .iter()
+            .any(|o| matches!(o, ObjectName::Site { .. })));
+        assert!(!a.is_parallelizable());
+        assert_eq!(a.counts().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn ignoring_the_dep_privatizes_the_carrier() {
+        // With the carried dependence speculated away (value prediction),
+        // `carried` becomes private and the loop is parallelizable.
+        let m = figure2_like();
+        let image = load_module(&m);
+        let (profile, _) = profile_module(&m, &image).unwrap();
+        let main = m.main().unwrap();
+        let li = privateer_ir::loops::LoopInfo::compute(m.func(main));
+        let (lid, _) = li.iter().next().unwrap();
+        let region = Region::compute(&m, main, lid);
+        let all_deps: BTreeSet<_> = profile
+            .deps_of((main, lid))
+            .map(|(&pair, _)| pair)
+            .collect();
+        let (a, _) = classify(&m, &region, &profile, &all_deps);
+        let carried = ObjectName::Global(m.global_by_name("carried").unwrap());
+        assert_eq!(a.heap_of(&carried), Some(Heap::Private));
+        assert!(a.is_parallelizable());
+    }
+}

@@ -1,0 +1,470 @@
+//! Loop footprints: Algorithm 2 of the paper (`getFootprint`).
+//!
+//! The footprint of a loop is the set of memory-object names its region —
+//! the loop blocks plus everything reachable through calls — reads,
+//! writes, and updates through reduction patterns. Object sets come from
+//! the pointer-to-object profile; reduction patterns are recognized
+//! syntactically (a load feeding an associative-commutative operator whose
+//! result stores back through the same pointer).
+
+use privateer_ir::callgraph::CallGraph;
+use privateer_ir::loops::LoopId;
+use privateer_ir::{BinOp, FuncId, InstId, InstKind, Module, ReduxOp, Type, Value};
+use privateer_profile::{CallSite, ObjectName, Profile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// All instructions of a loop's dynamic region: the loop blocks plus every
+/// function reachable from calls within them.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// The loop's function.
+    pub func: FuncId,
+    /// The loop.
+    pub loop_id: LoopId,
+    /// Instructions in the loop blocks themselves.
+    pub loop_insts: BTreeSet<CallSite>,
+    /// Functions wholly inside the region (reachable via calls).
+    pub callees: BTreeSet<FuncId>,
+}
+
+impl Region {
+    /// Compute the region of `loop_id` in `func`.
+    pub fn compute(module: &Module, func: FuncId, loop_id: LoopId) -> Region {
+        let li = privateer_ir::loops::LoopInfo::compute(module.func(func));
+        let lp = li.get(loop_id);
+        let cg = CallGraph::new(module);
+        let mut loop_insts = BTreeSet::new();
+        let mut roots = BTreeSet::new();
+        for &bb in &lp.blocks {
+            for &i in &module.func(func).block(bb).insts {
+                loop_insts.insert((func, i));
+                if let InstKind::Call(callee, _) = module.func(func).inst(i).kind {
+                    roots.insert(callee);
+                }
+            }
+        }
+        let callees = cg.reachable_from(roots);
+        Region {
+            func,
+            loop_id,
+            loop_insts,
+            callees,
+        }
+    }
+
+    /// Iterate over every instruction site in the region.
+    pub fn sites<'a>(&'a self, module: &'a Module) -> impl Iterator<Item = CallSite> + 'a {
+        self.loop_insts.iter().copied().chain(
+            self.callees
+                .iter()
+                .flat_map(move |&f| {
+                    module.func(f).inst_ids_in_order().map(move |(_, i)| (f, i))
+                }),
+        )
+    }
+
+    /// Whether an instruction site belongs to the region.
+    pub fn contains(&self, site: CallSite) -> bool {
+        self.loop_insts.contains(&site) || self.callees.contains(&site.0)
+    }
+}
+
+/// The three object footprints of Algorithm 2, plus the recognized
+/// reduction operator per object.
+#[derive(Debug, Clone, Default)]
+pub struct Footprint {
+    /// Objects read by non-reduction loads.
+    pub read: BTreeSet<ObjectName>,
+    /// Objects written by non-reduction stores.
+    pub write: BTreeSet<ObjectName>,
+    /// Objects accessed only through reduction update pairs, with their
+    /// operator. Objects updated by *conflicting* operators are demoted to
+    /// plain read+write (the criterion requires a single operator).
+    pub redux: BTreeMap<ObjectName, ReduxOp>,
+    /// The (load, store) instruction pairs forming reduction updates.
+    pub redux_pairs: BTreeSet<(CallSite, CallSite)>,
+}
+
+/// Map an IR binop at a type to a runtime reduction operator.
+///
+/// Only 8-byte element types participate (the runtime merges reduction
+/// heaps in 8-byte elements).
+pub fn redux_op_for(op: BinOp, ty: Type) -> Option<ReduxOp> {
+    match (op, ty) {
+        (BinOp::Add, Type::I64) => Some(ReduxOp::SumI64),
+        (BinOp::FAdd, Type::F64) => Some(ReduxOp::SumF64),
+        _ => None,
+    }
+}
+
+/// Recognize the reduction stores of one function: `store ty (op (load ty p) x), p`.
+///
+/// Returns `(load_site, store_site, op)` triples.
+fn reduction_pairs(module: &Module, f: FuncId) -> Vec<(InstId, InstId, ReduxOp)> {
+    let func = module.func(f);
+    // Is `cand` a load of `ty` through `ptr`? Returns its id.
+    let load_through = |cand: Value, ty: Type, ptr: Value| -> Option<InstId> {
+        let lid = cand.as_inst()?;
+        match func.inst(lid).kind {
+            InstKind::Load(lty, lptr) if lty == ty && lptr == ptr => Some(lid),
+            _ => None,
+        }
+    };
+    let mut out = Vec::new();
+    for (_, sid) in func.inst_ids_in_order() {
+        let InstKind::Store(ty, val, ptr) = func.inst(sid).kind else {
+            continue;
+        };
+        let Some(def_id) = val.as_inst() else { continue };
+        match func.inst(def_id).kind {
+            // `store (op (load p) x), p` — sum-style reductions.
+            InstKind::Bin(op, a, b) => {
+                let Some(rop) = redux_op_for(op, ty) else { continue };
+                for cand in [a, b] {
+                    if let Some(lid) = load_through(cand, ty, ptr) {
+                        out.push((lid, sid, rop));
+                        break;
+                    }
+                }
+            }
+            // `store (select (cmp x, load p) …), p` — min/max reductions:
+            // one select arm is the old value, the condition compares the
+            // new value against it.
+            InstKind::Select(sty, cond, tv, ev) if sty == ty => {
+                let Some(cid) = cond.as_inst() else { continue };
+                let (is_f, pred, ca, cb) = match func.inst(cid).kind {
+                    InstKind::Icmp(p, a, b) => (false, p, a, b),
+                    InstKind::Fcmp(p, a, b) => (true, p, a, b),
+                    _ => continue,
+                };
+                // Identify the old-value load among the compare operands
+                // and select arms.
+                let old = [ca, cb, tv, ev]
+                    .into_iter()
+                    .find_map(|v| load_through(v, ty, ptr));
+                let Some(lid) = old else { continue };
+                let old_v = Value::Inst(lid);
+                // The select must choose between the candidate and the old
+                // value.
+                if !((tv == old_v) ^ (ev == old_v)) {
+                    continue;
+                }
+                let new_v = if tv == old_v { ev } else { tv };
+                // Normalize: does the taken arm keep the minimum or the
+                // maximum? `select (new < old), new, old` is a min;
+                // flipped operands or arms invert it.
+                use privateer_ir::CmpOp::*;
+                let keeps_smaller_when_true = match (pred, ca == new_v) {
+                    (Lt | Le, true) => Some(true),
+                    (Gt | Ge, true) => Some(false),
+                    (Lt | Le, false) if cb == new_v => Some(false),
+                    (Gt | Ge, false) if cb == new_v => Some(true),
+                    _ => None,
+                };
+                let Some(keeps_smaller) = keeps_smaller_when_true else {
+                    continue;
+                };
+                // `tv == new_v` means the true arm takes the candidate.
+                let takes_new_when_true = tv == new_v;
+                let is_min = keeps_smaller == takes_new_when_true;
+                let rop = match (is_f, is_min, ty) {
+                    (false, true, Type::I64) => ReduxOp::MinI64,
+                    (false, false, Type::I64) => ReduxOp::MaxI64,
+                    (true, true, Type::F64) => ReduxOp::MinF64,
+                    (true, false, Type::F64) => ReduxOp::MaxF64,
+                    _ => continue,
+                };
+                out.push((lid, sid, rop));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Algorithm 2: compute the read/write/reduction footprints of a region.
+pub fn get_footprint(module: &Module, region: &Region, profile: &Profile) -> Footprint {
+    let mut fp = Footprint::default();
+
+    // Reduction pairs, per function touched by the region.
+    let mut funcs: BTreeSet<FuncId> = region.callees.clone();
+    funcs.insert(region.func);
+    let mut redux_loads: BTreeSet<CallSite> = BTreeSet::new();
+    let mut redux_stores: BTreeSet<CallSite> = BTreeSet::new();
+    let mut pair_ops: Vec<(CallSite, CallSite, ReduxOp)> = Vec::new();
+    for &f in &funcs {
+        for (lid, sid, op) in reduction_pairs(module, f) {
+            // Both halves must be in the region (for the loop function,
+            // inside the loop blocks).
+            if region.contains((f, lid)) && region.contains((f, sid)) {
+                redux_loads.insert((f, lid));
+                redux_stores.insert((f, sid));
+                pair_ops.push(((f, lid), (f, sid), op));
+            }
+        }
+    }
+
+    // Accumulate object sets.
+    let mut redux_objs: BTreeMap<ObjectName, BTreeSet<ReduxOp>> = BTreeMap::new();
+    for site in region.sites(module) {
+        let inst = module.func(site.0).inst(site.1);
+        let Some(objects) = profile.objects_at(site) else {
+            continue;
+        };
+        match inst.kind {
+            InstKind::Load(..) => {
+                if redux_loads.contains(&site) {
+                    for o in objects {
+                        redux_objs.entry(o.clone()).or_default();
+                    }
+                } else {
+                    fp.read.extend(objects.iter().cloned());
+                }
+            }
+            InstKind::Store(..) => {
+                if redux_stores.contains(&site) {
+                    for o in objects {
+                        redux_objs.entry(o.clone()).or_default();
+                    }
+                } else {
+                    fp.write.extend(objects.iter().cloned());
+                }
+            }
+            _ => {}
+        }
+    }
+    for (l, s, op) in &pair_ops {
+        for site in [l, s] {
+            if let Some(objects) = profile.objects_at(*site) {
+                for o in objects {
+                    redux_objs.entry(o.clone()).or_default().insert(*op);
+                }
+            }
+        }
+        fp.redux_pairs.insert((*l, *s));
+    }
+
+    // Objects with exactly one operator are reduction candidates; others
+    // (ambiguous operator) demote to plain read+write.
+    for (obj, ops) in redux_objs {
+        if ops.len() == 1 {
+            fp.redux.insert(obj, ops.into_iter().next().expect("one op"));
+        } else {
+            fp.read.insert(obj.clone());
+            fp.write.insert(obj);
+        }
+    }
+    fp
+}
+
+/// The objects an individual instruction touches, split by access kind —
+/// `getFootprint(a)` for a single operation, used when refining dependences.
+pub fn site_footprint<'p>(
+    module: &Module,
+    profile: &'p Profile,
+    site: CallSite,
+    fp: &Footprint,
+) -> (BTreeSet<&'p ObjectName>, BTreeSet<&'p ObjectName>, BTreeSet<&'p ObjectName>) {
+    let mut read = BTreeSet::new();
+    let mut write = BTreeSet::new();
+    let mut redux = BTreeSet::new();
+    let Some(objects) = profile.objects_at(site) else {
+        return (read, write, redux);
+    };
+    let is_redux_site = fp
+        .redux_pairs
+        .iter()
+        .any(|(l, s)| *l == site || *s == site);
+    let inst = module.func(site.0).inst(site.1);
+    for o in objects {
+        if is_redux_site {
+            redux.insert(o);
+        } else {
+            match inst.kind {
+                InstKind::Load(..) => {
+                    read.insert(o);
+                }
+                InstKind::Store(..) => {
+                    write.insert(o);
+                }
+                _ => {}
+            }
+        }
+    }
+    (read, write, redux)
+}
+
+/// Whether a value is a compile-time constant address expression (used by
+/// callers when deciding if a check can be elided).
+pub fn is_static_pointer(v: Value) -> bool {
+    matches!(v, Value::Global(_) | Value::Null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_ir::builder::FunctionBuilder;
+    use privateer_ir::{CmpOp, GlobalInit};
+    use privateer_profile::profile_module;
+    use privateer_vm::load_module;
+
+    /// for i in 0..5 { table[i%4] = i; acc += i as f64; tmp = malloc; free }
+    fn program() -> Module {
+        let mut m = Module::new("fp");
+        let table = m.add_global("table", 32);
+        let acc = m.add_global_init("acc", 8, GlobalInit::F64s(vec![0.0]));
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Lt, i, Value::const_i64(5));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let idx = b.bin(BinOp::SRem, Type::I64, i, Value::const_i64(4));
+        let slot = b.gep(Value::Global(table), idx, 8, 0);
+        b.store(Type::I64, i, slot);
+        // Reduction: acc += (f64)i.
+        let fi = b.sitofp(i);
+        let a = b.load(Type::F64, Value::Global(acc));
+        let a2 = b.fadd(a, fi);
+        b.store(Type::F64, a2, Value::Global(acc));
+        // Short-lived temp.
+        let p = b.malloc(Value::const_i64(8));
+        b.store(Type::I64, i, p);
+        let v = b.load(Type::I64, p);
+        b.free(p);
+        let i2 = b.add(Type::I64, i, v);
+        let i3 = b.sub(Type::I64, i2, v);
+        let i4 = b.add(Type::I64, i3, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i4);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn footprint_classifies_access_kinds() {
+        let m = program();
+        privateer_ir::verify::verify_module(&m).unwrap();
+        let image = load_module(&m);
+        let (profile, _) = profile_module(&m, &image).unwrap();
+        let main = m.main().unwrap();
+        let li = privateer_ir::loops::LoopInfo::compute(m.func(main));
+        let (lid, _) = li.iter().next().unwrap();
+        let region = Region::compute(&m, main, lid);
+        let fp = get_footprint(&m, &region, &profile);
+
+        let table = ObjectName::Global(m.global_by_name("table").unwrap());
+        let acc = ObjectName::Global(m.global_by_name("acc").unwrap());
+        assert!(fp.write.contains(&table));
+        assert!(!fp.read.contains(&table));
+        assert_eq!(fp.redux.get(&acc), Some(&ReduxOp::SumF64));
+        assert!(!fp.read.contains(&acc) && !fp.write.contains(&acc));
+        // The malloc'd temp is read and written (not a reduction).
+        assert!(fp.write.iter().any(|o| matches!(o, ObjectName::Site { .. })));
+        assert!(fp.read.iter().any(|o| matches!(o, ObjectName::Site { .. })));
+        assert_eq!(fp.redux_pairs.len(), 1);
+    }
+
+    #[test]
+    fn region_includes_callees() {
+        let mut m = Module::new("r");
+        let callee_id = FuncId::new(0);
+        let mut h = FunctionBuilder::new("helper", vec![], None);
+        h.ret(None);
+        m.add_function(h.finish());
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Lt, i, Value::const_i64(3));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        b.call(callee_id, vec![], None);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let main = m.add_function(b.finish());
+        let li = privateer_ir::loops::LoopInfo::compute(m.func(main));
+        let (lid, _) = li.iter().next().unwrap();
+        let region = Region::compute(&m, main, lid);
+        assert!(region.callees.contains(&callee_id));
+        assert!(region.contains((callee_id, InstId::new(0))));
+    }
+
+    /// Select-based min/max updates are recognized with the right
+    /// operator, in all four shapes.
+    #[test]
+    fn min_max_select_patterns_recognized() {
+        use privateer_ir::CmpOp;
+        // (cmp operands flipped?, arms flipped?, pred, expected op)
+        let cases = [
+            (false, false, CmpOp::Lt, ReduxOp::MinI64), // select(x<old, x, old)
+            (false, true, CmpOp::Lt, ReduxOp::MaxI64),  // select(x<old, old, x)
+            (true, false, CmpOp::Lt, ReduxOp::MaxI64),  // select(old<x, x, old)
+            (false, false, CmpOp::Gt, ReduxOp::MaxI64), // select(x>old, x, old)
+        ];
+        for (flip_ops, flip_arms, pred, want) in cases {
+            let mut m = Module::new("t");
+            let g = m.add_global("cell", 8);
+            let mut b = FunctionBuilder::new("main", vec![Type::I64], None);
+            let x = b.param(0);
+            let old = b.load(Type::I64, Value::Global(g));
+            let c = if flip_ops {
+                b.icmp(pred, old, x)
+            } else {
+                b.icmp(pred, x, old)
+            };
+            let sel = if flip_arms {
+                b.select(Type::I64, c, old, x)
+            } else {
+                b.select(Type::I64, c, x, old)
+            };
+            b.store(Type::I64, sel, Value::Global(g));
+            b.ret(None);
+            let f = m.add_function(b.finish());
+            let pairs = reduction_pairs(&m, f);
+            assert_eq!(pairs.len(), 1, "flip_ops={flip_ops} flip_arms={flip_arms}");
+            assert_eq!(pairs[0].2, want, "flip_ops={flip_ops} flip_arms={flip_arms}");
+        }
+    }
+
+    /// A select between two fresh values (not a min/max update) is not a
+    /// reduction.
+    #[test]
+    fn non_update_select_not_recognized() {
+        let mut m = Module::new("t");
+        let g = m.add_global("cell", 8);
+        let mut b = FunctionBuilder::new("main", vec![Type::I64, Type::I64], None);
+        let x = b.param(0);
+        let y = b.param(1);
+        let old = b.load(Type::I64, Value::Global(g));
+        let c = b.icmp(privateer_ir::CmpOp::Lt, x, old);
+        // Chooses between x and y — the old value is not an arm.
+        let sel = b.select(Type::I64, c, x, y);
+        b.store(Type::I64, sel, Value::Global(g));
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        assert!(reduction_pairs(&m, f).is_empty());
+    }
+
+    #[test]
+    fn redux_op_mapping() {
+        assert_eq!(redux_op_for(BinOp::Add, Type::I64), Some(ReduxOp::SumI64));
+        assert_eq!(redux_op_for(BinOp::FAdd, Type::F64), Some(ReduxOp::SumF64));
+        assert_eq!(redux_op_for(BinOp::Add, Type::I32), None);
+        assert_eq!(redux_op_for(BinOp::Sub, Type::I64), None);
+    }
+}

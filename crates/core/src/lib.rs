@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # privateer
+//!
+//! The Privateer compiler (PLDI 2012, "Speculative Separation for
+//! Privatization and Reductions"): fully automatic speculative
+//! privatization and reduction of dynamic, pointer-linked data structures,
+//! enabling DOALL parallelization.
+//!
+//! Pipeline (paper Figure 3):
+//!
+//! 1. profile (`privateer-profile`);
+//! 2. [`footprint`] — Algorithm 2, loop footprints and reduction
+//!    recognition;
+//! 3. [`classify`] — Algorithm 1, the five-heap assignment;
+//! 4. [`select`] — hot-loop selection under compatibility constraints;
+//! 5. [`transform`] — replace allocation (§4.4), outline ([`outline`]),
+//!    insert separation (§4.5) and privacy (§4.6) checks, value-prediction
+//!    re-materialization, control speculation;
+//! 6. execution under the `privateer-runtime` engine.
+//!
+//! [`pipeline::privatize`] runs the whole thing; [`baseline`] holds the
+//! non-speculative comparison systems (static DOALL, array-only LRPD).
+
+pub mod baseline;
+pub mod classify;
+pub mod footprint;
+pub mod outline;
+pub mod pipeline;
+pub mod select;
+pub mod transform;
+
+pub use classify::HeapAssignment;
+pub use footprint::{Footprint, Region};
+pub use pipeline::{privatize, LoopReport, PipelineConfig, PipelineError, Privatized};
+

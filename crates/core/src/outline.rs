@@ -1,0 +1,592 @@
+//! Loop-body outlining for DOALL parallelization.
+//!
+//! The selected counted loop's body is extracted into `fn body(iter: i64)`
+//! (twice: a speculative copy that later receives checks, and a recovery
+//! copy that stays unchecked), and the loop in the original function is
+//! replaced by a `parallel_invoke(lo, hi)` followed by the final
+//! induction-variable value.
+
+use privateer_ir::counted::CountedLoop;
+use privateer_ir::loops::Loop;
+use privateer_ir::{
+    BinOp, BlockId, CmpOp, FuncId, Function, Inst, InstId, InstKind, Intrinsic, Module, Term,
+    Type, Value,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a loop cannot be outlined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutlineError(pub String);
+
+impl fmt::Display for OutlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot outline loop: {}", self.0)
+    }
+}
+
+impl std::error::Error for OutlineError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, OutlineError> {
+    Err(OutlineError(msg.into()))
+}
+
+/// The artifacts of outlining one loop.
+#[derive(Debug, Clone)]
+pub struct OutlinedLoop {
+    /// The speculative body function (receives checks later).
+    pub body: FuncId,
+    /// The recovery body function (stays unchecked).
+    pub recovery: FuncId,
+    /// Original-function instruction ids → body-function instruction ids.
+    pub inst_map: BTreeMap<InstId, InstId>,
+    /// Original-function block ids → body-function block ids.
+    pub block_map: BTreeMap<BlockId, BlockId>,
+    /// The block in the original function that now performs the invoke.
+    pub invoke_block: BlockId,
+    /// Loop bounds, valid at the invoke block.
+    pub lo: Value,
+    /// Exclusive upper bound.
+    pub hi: Value,
+}
+
+/// Validate that the loop has the shape outlining supports.
+///
+/// # Errors
+///
+/// Rejects loops with side exits, `ret` inside the body, SSA values
+/// flowing in from the enclosing function (other than the induction
+/// variable) or out of the loop, or non-trivial header blocks.
+pub fn check_outlineable(func: &Function, cl: &CountedLoop, lp: &Loop) -> Result<(), OutlineError> {
+    if cl.into_loop == cl.header {
+        return err("single-block loop where the header is the body");
+    }
+    // The only exit edge must be the header's.
+    for &bb in &lp.blocks {
+        if bb == cl.header {
+            continue;
+        }
+        match &func.block(bb).term {
+            Term::Ret(_) => return err(format!("return inside loop at {bb}")),
+            Term::Unreachable => return err(format!("unreachable inside loop at {bb}")),
+            t => {
+                for s in t.successors() {
+                    if !lp.contains(s) {
+                        return err(format!("side exit from {bb} to {s}"));
+                    }
+                }
+            }
+        }
+    }
+    // The header may hold only the IV phi and the bound comparison.
+    for &i in &func.block(cl.header).insts {
+        if i == cl.iv || i == cl.cmp {
+            continue;
+        }
+        return err(format!(
+            "header contains extra instruction %{}",
+            i.index()
+        ));
+    }
+
+    // No SSA live-ins (other than the IV) and no live-outs.
+    let in_loop = |id: InstId| {
+        func.block_of(id)
+            .map(|bb| lp.contains(bb) && bb != cl.header)
+            .unwrap_or(false)
+    };
+    for &bb in &lp.blocks {
+        if bb == cl.header {
+            continue;
+        }
+        let check_value = |v: Value| -> Result<(), OutlineError> {
+            match v {
+                Value::Param(n) => err(format!("loop body uses enclosing parameter %arg{n}")),
+                Value::Inst(id) if id == cl.iv => Ok(()),
+                Value::Inst(id) if !in_loop(id) => {
+                    err(format!("loop body uses outside value %{}", id.index()))
+                }
+                _ => Ok(()),
+            }
+        };
+        let mut bad = None;
+        for &i in &func.block(bb).insts {
+            func.inst(i).for_each_operand(|v| {
+                if bad.is_none() {
+                    if let Err(e) = check_value(v) {
+                        bad = Some(e);
+                    }
+                }
+            });
+        }
+        func.block(bb).term.for_each_operand(|v| {
+            if bad.is_none() {
+                if let Err(e) = check_value(v) {
+                    bad = Some(e);
+                }
+            }
+        });
+        if let Some(e) = bad {
+            return Err(e);
+        }
+    }
+    // Live-outs: any use outside the loop of a value defined inside.
+    for bb in func.block_ids() {
+        if lp.contains(bb) {
+            continue;
+        }
+        let mut bad = None;
+        let mut check_use = |v: Value| {
+            if let Value::Inst(id) = v {
+                if in_loop(id) && bad.is_none() {
+                    bad = Some(OutlineError(format!(
+                        "value %{} defined in loop is used outside",
+                        id.index()
+                    )));
+                }
+            }
+        };
+        for &i in &func.block(bb).insts {
+            func.inst(i).for_each_operand(&mut check_use);
+        }
+        func.block(bb).term.for_each_operand(&mut check_use);
+        if let Some(e) = bad {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// Clone the loop body into a fresh `fn name(iter: i64)`.
+fn clone_body(
+    func: &Function,
+    cl: &CountedLoop,
+    lp: &Loop,
+    name: &str,
+) -> (Function, BTreeMap<InstId, InstId>, BTreeMap<BlockId, BlockId>) {
+    let mut body = Function::new(name, vec![Type::I64], None);
+    // bb0 (entry) branches to the cloned into_loop block; phis with an
+    // incoming edge from the old header are remapped to bb0.
+    let entry = body.entry();
+
+    // Allocate blocks: into_loop first, then remaining loop blocks, then
+    // the return block.
+    let mut block_map: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+    block_map.insert(cl.into_loop, body.add_block());
+    for &bb in &lp.blocks {
+        if bb != cl.header && bb != cl.into_loop {
+            block_map.insert(bb, body.add_block());
+        }
+    }
+    let ret_block = body.add_block();
+    body.block_mut(ret_block).term = Term::Ret(None);
+    body.block_mut(entry).term = Term::Br(block_map[&cl.into_loop]);
+
+    // First pass: allocate instruction ids.
+    let mut inst_map: BTreeMap<InstId, InstId> = BTreeMap::new();
+    for (&old_bb, &new_bb) in &block_map {
+        for &i in &func.block(old_bb).insts {
+            let new_id = body.add_inst(func.inst(i).clone());
+            body.block_mut(new_bb).insts.push(new_id);
+            inst_map.insert(i, new_id);
+        }
+    }
+
+    // Second pass: remap operands, phi predecessors, and terminators.
+    let remap_value = |v: Value| -> Value {
+        match v {
+            Value::Inst(id) if id == cl.iv => Value::Param(0),
+            Value::Inst(id) => inst_map.get(&id).map(|&n| Value::Inst(n)).unwrap_or(v),
+            other => other,
+        }
+    };
+    let remap_block = |bb: BlockId| -> BlockId {
+        if bb == cl.header {
+            entry
+        } else {
+            block_map.get(&bb).copied().unwrap_or(bb)
+        }
+    };
+    for &new_id in inst_map.values() {
+        let inst = body.inst_mut(new_id);
+        inst.map_operands(remap_value);
+        if let InstKind::Phi(_, incoming) = &mut inst.kind {
+            for (pred, _) in incoming {
+                *pred = remap_block(*pred);
+            }
+        }
+    }
+    for (&old_bb, &new_bb) in &block_map {
+        let mut term = func.block(old_bb).term.clone();
+        term.map_operands(remap_value);
+        term.map_successors(|s| {
+            if s == cl.header {
+                ret_block
+            } else {
+                remap_block(s)
+            }
+        });
+        body.block_mut(new_bb).term = term;
+    }
+    (body, inst_map, block_map)
+}
+
+/// Outline `cl` from `func_id`, rewrite the original function to invoke
+/// plan `plan_index`, and register the two body functions.
+///
+/// The caller must push the corresponding [`privateer_ir::PlanEntry`]
+/// (`plans[plan_index]`) afterwards.
+///
+/// # Errors
+///
+/// See [`check_outlineable`].
+pub fn outline_loop(
+    module: &mut Module,
+    func_id: FuncId,
+    cl: &CountedLoop,
+    lp: &Loop,
+    plan_index: u32,
+) -> Result<OutlinedLoop, OutlineError> {
+    let func = module.func(func_id);
+    check_outlineable(func, cl, lp)?;
+
+    let base_name = format!("{}.loop{}", func.name, cl.loop_id.index());
+    let (body_fn, inst_map, block_map) = clone_body(func, cl, lp, &format!("{base_name}.body"));
+    let mut recovery_fn = body_fn.clone();
+    recovery_fn.name = format!("{base_name}.recovery");
+    let (lo, hi, step) = (cl.lo, cl.hi, cl.step);
+
+    let body = module.add_function(body_fn);
+    let recovery = module.add_function(recovery_fn);
+
+    // Rewrite the original function.
+    let func = module.func_mut(func_id);
+
+    // The preheader is the unique non-latch predecessor in the IV phi.
+    let InstKind::Phi(_, incoming) = &func.inst(cl.iv).kind else {
+        return err("induction variable is not a phi");
+    };
+    let preheader = incoming
+        .iter()
+        .map(|&(p, _)| p)
+        .find(|&p| p != cl.latch)
+        .ok_or_else(|| OutlineError("no preheader edge".into()))?;
+
+    // Build the invoke block.
+    let invoke_block = func.add_block();
+    let push = |func: &mut Function, kind: InstKind, ty: Option<Type>| -> InstId {
+        let id = func.add_inst(Inst { kind, ty });
+        func.block_mut(invoke_block).insts.push(id);
+        id
+    };
+    push(
+        func,
+        InstKind::CallIntrinsic(Intrinsic::ParallelInvoke(plan_index), vec![lo, hi]),
+        None,
+    );
+    // Final IV value: lo + ceil(max(hi-lo,0)/step)*step.
+    let d = push(func, InstKind::Bin(BinOp::Sub, hi, lo), Some(Type::I64));
+    let pos = push(
+        func,
+        InstKind::Icmp(CmpOp::Gt, Value::Inst(d), Value::const_i64(0)),
+        Some(Type::I1),
+    );
+    let dmax = push(
+        func,
+        InstKind::Select(Type::I64, Value::Inst(pos), Value::Inst(d), Value::const_i64(0)),
+        Some(Type::I64),
+    );
+    let final_iv = if step == 1 {
+        let f = push(
+            func,
+            InstKind::Bin(BinOp::Add, lo, Value::Inst(dmax)),
+            Some(Type::I64),
+        );
+        Value::Inst(f)
+    } else {
+        let num = push(
+            func,
+            InstKind::Bin(BinOp::Add, Value::Inst(dmax), Value::const_i64(step - 1)),
+            Some(Type::I64),
+        );
+        let q = push(
+            func,
+            InstKind::Bin(BinOp::SDiv, Value::Inst(num), Value::const_i64(step)),
+            Some(Type::I64),
+        );
+        let scaled = push(
+            func,
+            InstKind::Bin(BinOp::Mul, Value::Inst(q), Value::const_i64(step)),
+            Some(Type::I64),
+        );
+        let f = push(
+            func,
+            InstKind::Bin(BinOp::Add, lo, Value::Inst(scaled)),
+            Some(Type::I64),
+        );
+        Value::Inst(f)
+    };
+    func.block_mut(invoke_block).term = Term::Br(cl.exit);
+
+    // Reroute the preheader to the invoke block.
+    func.block_mut(preheader).term.map_successors(|s| {
+        if s == cl.header {
+            invoke_block
+        } else {
+            s
+        }
+    });
+
+    // Replace uses of the IV outside the loop with the final value, and
+    // retarget exit phis' header edges to the invoke block.
+    let loop_blocks: Vec<BlockId> = lp.blocks.iter().copied().collect();
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        if loop_blocks.contains(&bb) {
+            continue;
+        }
+        let remap = |v: Value| if v == Value::Inst(cl.iv) { final_iv } else { v };
+        let insts = func.block(bb).insts.clone();
+        for i in insts {
+            // Skip the invoke block's own final-IV computation.
+            if bb == invoke_block {
+                continue;
+            }
+            let inst = func.inst_mut(i);
+            inst.map_operands(remap);
+            if let InstKind::Phi(_, incoming) = &mut inst.kind {
+                for (pred, _) in incoming {
+                    if *pred == cl.header {
+                        *pred = invoke_block;
+                    }
+                }
+            }
+        }
+        if bb != invoke_block {
+            func.block_mut(bb).term.map_operands(remap);
+        }
+    }
+
+    // Clear the loop blocks.
+    for &bb in &loop_blocks {
+        let block = func.block_mut(bb);
+        block.insts.clear();
+        block.term = Term::Unreachable;
+    }
+
+    Ok(OutlinedLoop {
+        body,
+        recovery,
+        inst_map,
+        block_map,
+        invoke_block,
+        lo,
+        hi,
+    })
+}
+
+/// Insert `inst` into `block` immediately before position `pos`.
+pub fn insert_at(func: &mut Function, block: BlockId, pos: usize, inst: Inst) -> InstId {
+    let id = func.add_inst(inst);
+    func.block_mut(block).insts.insert(pos, id);
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_ir::builder::FunctionBuilder;
+    use privateer_ir::counted::match_counted_loop;
+    use privateer_ir::loops::LoopInfo;
+    use privateer_ir::verify::verify_module;
+    use privateer_ir::{GlobalId, PlanEntry};
+    use privateer_runtime::SequentialPlanRuntime;
+    use privateer_vm::{load_module, Interp, NopHooks};
+
+    /// for i in 2..n { table[i] = i*i } ; print(i_final); print(table[5])
+    fn build(n: i64) -> (Module, GlobalId) {
+        let mut m = Module::new("o");
+        let table = m.add_global("table", 1024);
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(2));
+        let c = b.icmp(CmpOp::Lt, i, Value::const_i64(n));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let sq = b.mul(Type::I64, i, i);
+        let slot = b.gep(Value::Global(table), i, 8, 0);
+        b.store(Type::I64, sq, slot);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.print_i64(i); // the IV's final value is observable
+        let s5 = b.gep(Value::Global(table), Value::const_i64(5), 8, 0);
+        let v = b.load(Type::I64, s5);
+        b.print_i64(v);
+        b.ret(None);
+        m.add_function(b.finish());
+        (m, table)
+    }
+
+    fn outline_first_loop(m: &mut Module) -> OutlinedLoop {
+        let main = m.main().unwrap();
+        let li = LoopInfo::compute(m.func(main));
+        // Pick the outermost loop.
+        let (lid, lp) = li.iter().find(|(_, l)| l.depth == 1).unwrap();
+        let cl = match_counted_loop(m.func(main), lid, lp).unwrap();
+        let lp = lp.clone();
+        let out = outline_loop(m, main, &cl, &lp, 0).unwrap();
+        m.plans.push(PlanEntry {
+            body: out.body,
+            recovery: out.recovery,
+        });
+        out
+    }
+
+    #[test]
+    fn outlined_module_verifies_and_runs() {
+        let (mut m, _) = build(10);
+        verify_module(&m).unwrap();
+        let out = outline_first_loop(&mut m);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(m.func(out.body).params, vec![Type::I64]);
+        // Execute sequentially through the plan runtime.
+        let image = load_module(&m);
+        let mut interp = Interp::new(&m, &image, NopHooks, SequentialPlanRuntime::new(&image));
+        interp.run_main().unwrap();
+        // Final IV = 10, table[5] = 25.
+        assert_eq!(interp.rt.take_output(), b"10\n25\n");
+    }
+
+    #[test]
+    fn zero_trip_loop_final_iv_is_lo() {
+        let (mut m, _) = build(0); // 2..0: never runs
+        outline_first_loop(&mut m);
+        verify_module(&m).unwrap();
+        let image = load_module(&m);
+        let mut interp = Interp::new(&m, &image, NopHooks, SequentialPlanRuntime::new(&image));
+        interp.run_main().unwrap();
+        assert_eq!(interp.rt.take_output(), b"2\n0\n");
+    }
+
+    #[test]
+    fn rejects_live_outs() {
+        // A value computed in the loop is used after it.
+        let mut m = Module::new("lo");
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Lt, i, Value::const_i64(4));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let sq = b.mul(Type::I64, i, i);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.print_i64(sq); // live-out!
+        b.ret(None);
+        let main = m.add_function(b.finish());
+        let li = LoopInfo::compute(m.func(main));
+        let (lid, lp) = li.iter().next().unwrap();
+        let cl = match_counted_loop(m.func(main), lid, lp).unwrap();
+        let e = check_outlineable(m.func(main), &cl, lp).unwrap_err();
+        assert!(e.0.contains("used outside"), "{e}");
+    }
+
+    #[test]
+    fn rejects_ssa_live_ins() {
+        // The loop body uses a value computed before the loop.
+        let mut m = Module::new("li");
+        let g = m.add_global("g", 8);
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let pre = b.load(Type::I64, Value::Global(g));
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Lt, i, Value::const_i64(4));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let s = b.add(Type::I64, i, pre); // live-in!
+        let slot = b.gep(Value::Global(g), Value::const_i64(0), 0, 0);
+        b.store(Type::I64, s, slot);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let main = m.add_function(b.finish());
+        let li = LoopInfo::compute(m.func(main));
+        let (lid, lp) = li.iter().next().unwrap();
+        let cl = match_counted_loop(m.func(main), lid, lp).unwrap();
+        let e = check_outlineable(m.func(main), &cl, lp).unwrap_err();
+        assert!(e.0.contains("outside value"), "{e}");
+    }
+
+    #[test]
+    fn outlines_nested_inner_loop_body() {
+        // Outer loop whose body contains an inner counted loop (phis whose
+        // predecessors include the outer header).
+        let mut m = Module::new("nest");
+        let g = m.add_global("g", 8 * 64);
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let oh = b.new_block();
+        let ih = b.new_block();
+        let ib = b.new_block();
+        let ol = b.new_block();
+        let exit = b.new_block();
+        b.br(oh);
+        b.switch_to(oh);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Lt, i, Value::const_i64(8));
+        b.cond_br(c, ih, exit);
+        b.switch_to(ih);
+        let (j, j_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(j_phi, oh, Value::const_i64(0));
+        let cj = b.icmp(CmpOp::Lt, j, Value::const_i64(8));
+        b.cond_br(cj, ib, ol);
+        b.switch_to(ib);
+        let prod = b.mul(Type::I64, i, j);
+        let idx = b.mul(Type::I64, i, Value::const_i64(8));
+        let idx2 = b.add(Type::I64, idx, j);
+        let slot = b.gep(Value::Global(g), idx2, 8, 0);
+        b.store(Type::I64, prod, slot);
+        let j2 = b.add(Type::I64, j, Value::const_i64(1));
+        b.add_phi_incoming(j_phi, ib, j2);
+        b.br(ih);
+        b.switch_to(ol);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, ol, i2);
+        b.br(oh);
+        b.switch_to(exit);
+        let s = b.gep(Value::Global(g), Value::const_i64(61), 8, 0);
+        let v = b.load(Type::I64, s);
+        b.print_i64(v); // g[7*8+5] = 35
+        b.ret(None);
+        m.add_function(b.finish());
+        verify_module(&m).unwrap();
+
+        let out = outline_first_loop(&mut m);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}"));
+        assert!(m.func(out.body).blocks.len() >= 4);
+        let image = load_module(&m);
+        let mut interp = Interp::new(&m, &image, NopHooks, SequentialPlanRuntime::new(&image));
+        interp.run_main().unwrap();
+        assert_eq!(interp.rt.take_output(), b"35\n");
+    }
+}

@@ -1,0 +1,169 @@
+//! Loop selection (§4.3): pick the hottest compatible set of
+//! parallelizable loops.
+
+use crate::classify::HeapAssignment;
+use crate::footprint::{Footprint, Region};
+use crate::transform::{PlacementMap, ValuePrediction};
+use privateer_ir::counted::CountedLoop;
+use privateer_profile::{CallSite, LoopRef};
+use std::collections::BTreeSet;
+
+/// A hot loop that classification found parallelizable, with everything
+/// the transformation needs.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The loop.
+    pub lp: LoopRef,
+    /// Its canonical counted form.
+    pub counted: CountedLoop,
+    /// The loop's region.
+    pub region: Region,
+    /// The heap assignment.
+    pub assignment: HeapAssignment,
+    /// The loop's footprint.
+    pub footprint: Footprint,
+    /// Value predictions enabling the assignment (may be empty).
+    pub predictions: Vec<ValuePrediction>,
+    /// Profiled dependences removed by those predictions.
+    pub predicted_deps: BTreeSet<(CallSite, CallSite)>,
+    /// Hotness weight (instructions executed while active).
+    pub weight: u64,
+}
+
+/// Whether two candidate loops may be simultaneously active: one's region
+/// reaches the other's function (nesting through calls), or they overlap
+/// within one function.
+pub fn may_be_simultaneously_active(a: &Candidate, b: &Candidate) -> bool {
+    if a.region.callees.contains(&b.lp.0) || b.region.callees.contains(&a.lp.0) {
+        return true;
+    }
+    if a.lp.0 == b.lp.0 {
+        // Same function: nested or overlapping block sets conflict.
+        let sa: BTreeSet<_> = a.region.loop_insts.iter().collect();
+        let sb: BTreeSet<_> = b.region.loop_insts.iter().collect();
+        return sa.intersection(&sb).next().is_some();
+    }
+    false
+}
+
+/// Greedy selection by hotness: take the heaviest loops whose heap
+/// assignments agree on every shared object and which are never
+/// simultaneously active. Returns the chosen candidates and the merged
+/// placement.
+pub fn select(mut candidates: Vec<Candidate>) -> (Vec<Candidate>, PlacementMap) {
+    candidates.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.lp.cmp(&b.lp)));
+    let mut chosen: Vec<Candidate> = Vec::new();
+    let mut placement = PlacementMap::default();
+    for cand in candidates {
+        if !cand.assignment.is_parallelizable() {
+            continue;
+        }
+        if chosen.iter().any(|c| may_be_simultaneously_active(c, &cand)) {
+            continue;
+        }
+        let mut tentative = placement.clone();
+        if tentative.merge(&cand.assignment).is_err() {
+            continue; // incompatible heap assignment (§4.3)
+        }
+        placement = tentative;
+        chosen.push(cand);
+    }
+    (chosen, placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_ir::loops::LoopId;
+    use privateer_ir::{BlockId, FuncId, Heap, InstId};
+    use privateer_profile::ObjectName;
+
+    fn candidate(func: usize, weight: u64, objs: &[(usize, Heap)]) -> Candidate {
+        let mut assignment = HeapAssignment::default();
+        for &(g, h) in objs {
+            let name = ObjectName::Global(privateer_ir::GlobalId::new(g));
+            match h {
+                Heap::Private => {
+                    assignment.private.insert(name);
+                }
+                Heap::ReadOnly => {
+                    assignment.read_only.insert(name);
+                }
+                Heap::ShortLived => {
+                    assignment.short_lived.insert(name);
+                }
+                Heap::Unrestricted => {
+                    assignment.unrestricted.insert(name);
+                }
+                Heap::Redux => {
+                    assignment.redux.insert(name, privateer_ir::ReduxOp::SumI64);
+                }
+            }
+        }
+        Candidate {
+            lp: (FuncId::new(func), LoopId::new(0)),
+            counted: CountedLoop {
+                loop_id: LoopId::new(0),
+                header: BlockId::new(1),
+                latch: BlockId::new(2),
+                iv: InstId::new(0),
+                lo: privateer_ir::Value::const_i64(0),
+                hi: privateer_ir::Value::const_i64(10),
+                step: 1,
+                into_loop: BlockId::new(2),
+                exit: BlockId::new(3),
+                cmp: InstId::new(1),
+            },
+            region: Region {
+                func: FuncId::new(func),
+                loop_id: LoopId::new(0),
+                loop_insts: BTreeSet::new(),
+                callees: BTreeSet::new(),
+            },
+            assignment,
+            footprint: Footprint::default(),
+            predictions: vec![],
+            predicted_deps: BTreeSet::new(),
+            weight,
+        }
+    }
+
+    #[test]
+    fn prefers_heavier_loops() {
+        let a = candidate(0, 100, &[(0, Heap::Private)]);
+        let b = candidate(1, 900, &[(0, Heap::ReadOnly)]);
+        // Conflicting assignment for global 0: only the heavier survives.
+        let (chosen, _) = select(vec![a, b]);
+        assert_eq!(chosen.len(), 1);
+        assert_eq!(chosen[0].lp.0, FuncId::new(1));
+    }
+
+    #[test]
+    fn compatible_loops_both_selected() {
+        let a = candidate(0, 100, &[(0, Heap::Private)]);
+        let b = candidate(1, 900, &[(0, Heap::Private), (1, Heap::ReadOnly)]);
+        let (chosen, placement) = select(vec![a, b]);
+        assert_eq!(chosen.len(), 2);
+        assert_eq!(
+            placement.globals.get(&privateer_ir::GlobalId::new(0)),
+            Some(&Heap::Private)
+        );
+    }
+
+    #[test]
+    fn unparallelizable_skipped() {
+        let a = candidate(0, 100, &[(0, Heap::Unrestricted)]);
+        let (chosen, _) = select(vec![a]);
+        assert!(chosen.is_empty());
+    }
+
+    #[test]
+    fn nested_via_calls_conflict() {
+        let mut a = candidate(0, 100, &[]);
+        let b = candidate(1, 900, &[]);
+        a.region.callees.insert(FuncId::new(1)); // a's loop calls b's function
+        let (chosen, _) = select(vec![a, b]);
+        assert_eq!(chosen.len(), 1);
+        assert_eq!(chosen[0].lp.0, FuncId::new(1)); // heavier one wins
+    }
+}

@@ -1,0 +1,657 @@
+//! The Privateer transformation passes over a module with a chosen heap
+//! assignment: replace allocation (§4.4), insert separation checks (§4.5)
+//! and privacy checks (§4.6), value-prediction re-materialization and
+//! validation, and control speculation.
+
+use crate::classify::HeapAssignment;
+use privateer_ir::cfg::Cfg;
+use privateer_ir::dom::DomTree;
+use privateer_ir::{
+    BlockId, FuncId, Function, GlobalId, Heap, Inst, InstId, InstKind, Intrinsic, Module, Term,
+    Type, Value,
+};
+use privateer_profile::{CallSite, ObjectName, Profile};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A transformation failure (the loop should not have been selected).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformError(pub String);
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transformation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TransformError> {
+    Err(TransformError(msg.into()))
+}
+
+/// The module-wide object→heap map derived from (possibly several) loops'
+/// heap assignments: globals and allocation sites each get one heap.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementMap {
+    /// Heap of each classified global.
+    pub globals: BTreeMap<GlobalId, Heap>,
+    /// Heap of each classified allocation site (all context names of the
+    /// site must agree).
+    pub sites: BTreeMap<CallSite, Heap>,
+}
+
+impl PlacementMap {
+    /// Fold a loop's assignment into the map. On failure `self` is left
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an object would be assigned two different heaps — the
+    /// selection compatibility rule of §4.3.
+    pub fn merge(&mut self, assignment: &HeapAssignment) -> Result<(), TransformError> {
+        let mut tentative = self.clone();
+        tentative.merge_in_place(assignment)?;
+        *self = tentative;
+        Ok(())
+    }
+
+    fn merge_in_place(&mut self, assignment: &HeapAssignment) -> Result<(), TransformError> {
+        for (obj, heap) in assignment.iter() {
+            match obj {
+                ObjectName::Global(g) => {
+                    if let Some(prev) = self.globals.insert(*g, heap) {
+                        if prev != heap {
+                            return err(format!("global {g} assigned both {prev} and {heap}"));
+                        }
+                    }
+                }
+                ObjectName::Site { site, .. } => {
+                    if let Some(prev) = self.sites.insert(*site, heap) {
+                        if prev != heap {
+                            return err(format!(
+                                "allocation site {}:{} assigned both {prev} and {heap}",
+                                site.0, site.1
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The heap of an object name under this placement.
+    pub fn heap_of(&self, obj: &ObjectName) -> Option<Heap> {
+        match obj {
+            ObjectName::Global(g) => self.globals.get(g).copied(),
+            ObjectName::Site { site, .. } => self.sites.get(site).copied(),
+        }
+    }
+}
+
+/// §4.4 Replace Allocation: retarget globals, allocation sites and free
+/// sites into their logical heaps, module-wide.
+///
+/// # Errors
+///
+/// Fails when a `free` releases objects spanning several heaps, or a
+/// "site" is not actually an allocation.
+pub fn replace_allocation(
+    module: &mut Module,
+    placement: &PlacementMap,
+    profile: &Profile,
+) -> Result<(), TransformError> {
+    for (&g, &heap) in &placement.globals {
+        module.global_mut(g).heap = Some(heap);
+    }
+    for (&(f, i), &heap) in &placement.sites {
+        let kind = module.func(f).inst(i).kind.clone();
+        match kind {
+            InstKind::Malloc(size) => {
+                module.func_mut(f).inst_mut(i).kind =
+                    InstKind::CallIntrinsic(Intrinsic::HAlloc(heap), vec![size]);
+            }
+            InstKind::Alloca { size, .. } => {
+                let size_v = Value::const_i64(size as i64);
+                module.func_mut(f).inst_mut(i).kind =
+                    InstKind::CallIntrinsic(Intrinsic::HAlloc(heap), vec![size_v]);
+                insert_alloca_frees(module.func_mut(f), i, heap);
+            }
+            InstKind::CallIntrinsic(Intrinsic::HAlloc(h), _) if h == heap => {}
+            other => {
+                return err(format!(
+                    "allocation site {f}:{i} is not an allocation ({other:?})"
+                ))
+            }
+        }
+    }
+    // Retarget frees whose objects all live in one heap.
+    for f in module.func_ids() {
+        let ids: Vec<InstId> = (0..module.func(f).insts.len()).map(InstId::new).collect();
+        for i in ids {
+            let InstKind::Free(ptr) = module.func(f).inst(i).kind else {
+                continue;
+            };
+            let Some(objects) = profile.objects_at((f, i)) else {
+                continue;
+            };
+            let heaps: BTreeSet<Option<Heap>> =
+                objects.iter().map(|o| placement.heap_of(o)).collect();
+            match heaps.into_iter().collect::<Vec<_>>().as_slice() {
+                [Some(h)] => {
+                    module.func_mut(f).inst_mut(i).kind =
+                        InstKind::CallIntrinsic(Intrinsic::HFree(*h), vec![ptr]);
+                }
+                [None] => {}
+                mixed => {
+                    return err(format!(
+                        "free at {f}:{i} releases objects from mixed heaps {mixed:?}"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Insert `h_dealloc` for a replaced alloca at every return it dominates
+/// (paper: "a corresponding deallocation is inserted at all function
+/// exits").
+fn insert_alloca_frees(func: &mut Function, alloca: InstId, heap: Heap) {
+    let cfg = Cfg::new(func);
+    let dom = DomTree::new(func, &cfg);
+    let Some(def_bb) = func.block_of(alloca) else {
+        return;
+    };
+    let ret_blocks: Vec<BlockId> = func
+        .block_ids()
+        .filter(|&bb| matches!(func.block(bb).term, Term::Ret(_)) && dom.dominates(def_bb, bb))
+        .collect();
+    for bb in ret_blocks {
+        let free = func.add_inst(Inst {
+            kind: InstKind::CallIntrinsic(Intrinsic::HFree(heap), vec![Value::Inst(alloca)]),
+            ty: None,
+        });
+        func.block_mut(bb).insts.push(free);
+    }
+}
+
+/// Which heap(s) each access site is expected to touch, per the profile
+/// and placement. Used both for check insertion and for the selection
+/// sanity rule that one access never spans heaps.
+pub fn access_heaps(
+    module: &Module,
+    profile: &Profile,
+    placement: &PlacementMap,
+    funcs: impl IntoIterator<Item = FuncId>,
+) -> BTreeMap<CallSite, BTreeSet<Heap>> {
+    let mut out = BTreeMap::new();
+    for f in funcs {
+        for (_, i) in module.func(f).inst_ids_in_order() {
+            if !matches!(
+                module.func(f).inst(i).kind,
+                InstKind::Load(..) | InstKind::Store(..)
+            ) {
+                continue;
+            }
+            let Some(objects) = profile.objects_at((f, i)) else {
+                continue;
+            };
+            let heaps: BTreeSet<Heap> = objects
+                .iter()
+                .filter_map(|o| placement.heap_of(o))
+                .collect();
+            if !heaps.is_empty() {
+                out.insert((f, i), heaps);
+            }
+        }
+    }
+    out
+}
+
+/// Counters from check insertion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// `private_read` checks inserted.
+    pub privacy_reads: usize,
+    /// `private_write` checks inserted.
+    pub privacy_writes: usize,
+    /// `check_heap` checks inserted.
+    pub separation: usize,
+    /// Separation checks proved at compile time and elided.
+    pub elided: usize,
+}
+
+/// §4.5 + §4.6: insert separation and privacy checks into `funcs`.
+///
+/// `expected` maps each access site to its expected heap(s). Separation
+/// checks are attached to the *pointer definition* and elided when
+/// provable (globals with the right placement, `h_alloc` results, and GEPs
+/// thereof). Privacy checks precede each private access.
+///
+/// # Errors
+///
+/// Fails if any access expects more than one heap, or one pointer is used
+/// against different heaps.
+pub fn insert_checks(
+    module: &mut Module,
+    expected: &BTreeMap<CallSite, BTreeSet<Heap>>,
+    placement: &PlacementMap,
+    funcs: impl IntoIterator<Item = FuncId>,
+) -> Result<CheckStats, TransformError> {
+    let mut stats = CheckStats::default();
+    for f in funcs {
+        // Gather this function's accesses and their heaps.
+        let mut pointer_heap: BTreeMap<Value, Heap> = BTreeMap::new();
+        let mut privacy_points: Vec<(BlockId, InstId, Value, u32, bool)> = Vec::new();
+        for bb in module.func(f).block_ids() {
+            for &i in &module.func(f).block(bb).insts {
+                let Some(heaps) = expected.get(&(f, i)) else {
+                    continue;
+                };
+                if heaps.len() != 1 {
+                    return err(format!(
+                        "access {f}:{i} touches objects in several heaps: {heaps:?}"
+                    ));
+                }
+                let heap = *heaps.iter().next().expect("one heap");
+                let (ptr, size, is_store) = match module.func(f).inst(i).kind {
+                    InstKind::Load(ty, p) => (p, ty.size(), false),
+                    InstKind::Store(ty, _, p) => (p, ty.size(), true),
+                    _ => continue,
+                };
+                if let Some(prev) = pointer_heap.insert(ptr, heap) {
+                    if prev != heap {
+                        return err(format!(
+                            "pointer {ptr} used against both {prev} and {heap} in {f}"
+                        ));
+                    }
+                }
+                if heap == Heap::Private {
+                    privacy_points.push((bb, i, ptr, size, is_store));
+                }
+            }
+        }
+
+        // Privacy checks: insert before each private access.
+        for (bb, access, ptr, size, is_store) in privacy_points {
+            let func = module.func_mut(f);
+            let pos = func
+                .block(bb)
+                .insts
+                .iter()
+                .position(|&x| x == access)
+                .expect("access is placed");
+            let which = if is_store {
+                Intrinsic::PrivateWrite
+            } else {
+                Intrinsic::PrivateRead
+            };
+            crate::outline::insert_at(
+                func,
+                bb,
+                pos,
+                Inst {
+                    kind: InstKind::CallIntrinsic(which, vec![ptr, Value::const_i64(size as i64)]),
+                    ty: None,
+                },
+            );
+            if is_store {
+                stats.privacy_writes += 1;
+            } else {
+                stats.privacy_reads += 1;
+            }
+        }
+
+        // Separation checks at pointer definitions, with compile-time
+        // elision.
+        for (ptr, heap) in pointer_heap {
+            if proves_heap(module.func(f), placement, ptr, heap) {
+                stats.elided += 1;
+                continue;
+            }
+            let check = Inst {
+                kind: InstKind::CallIntrinsic(Intrinsic::CheckHeap(heap), vec![ptr]),
+                ty: None,
+            };
+            let func = module.func_mut(f);
+            match ptr {
+                Value::Inst(def) => {
+                    let Some(def_bb) = func.block_of(def) else {
+                        return err(format!("pointer %{} is unplaced", def.index()));
+                    };
+                    let pos = func
+                        .block(def_bb)
+                        .insts
+                        .iter()
+                        .position(|&x| x == def)
+                        .expect("definition is placed");
+                    crate::outline::insert_at(func, def_bb, pos + 1, check);
+                }
+                _ => {
+                    // Parameters and unproved constants: check at entry.
+                    let entry = func.entry();
+                    crate::outline::insert_at(func, entry, 0, check);
+                }
+            }
+            stats.separation += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Can the compiler prove `ptr` stays within `heap`? (Globals placed
+/// there, `h_alloc` results from there, and field/element arithmetic over
+/// such pointers.)
+fn proves_heap(func: &Function, placement: &PlacementMap, ptr: Value, heap: Heap) -> bool {
+    let mut cur = ptr;
+    for _ in 0..64 {
+        match cur {
+            Value::Global(g) => return placement.globals.get(&g) == Some(&heap),
+            Value::Inst(id) => match &func.inst(id).kind {
+                InstKind::CallIntrinsic(Intrinsic::HAlloc(h), _) => return *h == heap,
+                InstKind::Gep { base, .. } => cur = *base,
+                _ => return false,
+            },
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// A value prediction: `global + offset` holds `bytes` at the start of
+/// every iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValuePrediction {
+    /// The predicted global.
+    pub global: GlobalId,
+    /// Byte offset within it.
+    pub offset: u64,
+    /// The predicted bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Insert value-prediction speculation into an outlined body:
+/// re-materialize the predicted value at entry, and validate it before
+/// returning (the paper's dijkstra transformation: the work list is
+/// predicted empty at iteration boundaries, checked by `misspec()` guards
+/// at the iteration end — Figure 2b lines 78–80).
+///
+/// # Errors
+///
+/// Fails if the body does not have exactly one return block.
+pub fn insert_value_predictions(
+    module: &mut Module,
+    body: FuncId,
+    predictions: &[ValuePrediction],
+) -> Result<(), TransformError> {
+    if predictions.is_empty() {
+        return Ok(());
+    }
+    let func = module.func_mut(body);
+    let entry = func.entry();
+    let ret_blocks: Vec<BlockId> = func
+        .block_ids()
+        .filter(|&bb| matches!(func.block(bb).term, Term::Ret(_)))
+        .collect();
+    let [ret_block] = ret_blocks.as_slice() else {
+        return err("outlined body must have exactly one return block");
+    };
+    let ret_block = *ret_block;
+
+    for p in predictions {
+        for (chunk_off, chunk) in chunks_of(&p.bytes) {
+            let off = (p.offset + chunk_off) as i64;
+            let (ty, cval) = chunk_const(&chunk);
+
+            // Entry: address, privacy check, store of the predicted value.
+            let addr = func.add_inst(Inst {
+                kind: InstKind::Gep {
+                    base: Value::Global(p.global),
+                    index: Value::const_i64(0),
+                    scale: 0,
+                    disp: off,
+                },
+                ty: Some(Type::Ptr),
+            });
+            let pw = func.add_inst(Inst {
+                kind: InstKind::CallIntrinsic(
+                    Intrinsic::PrivateWrite,
+                    vec![Value::Inst(addr), Value::const_i64(ty.size() as i64)],
+                ),
+                ty: None,
+            });
+            let st = func.add_inst(Inst {
+                kind: InstKind::Store(ty, cval, Value::Inst(addr)),
+                ty: None,
+            });
+            let block = func.block_mut(entry);
+            block.insts.insert(0, st);
+            block.insts.insert(0, pw);
+            block.insts.insert(0, addr);
+
+            // Return block: load and predict equality.
+            let addr2 = func.add_inst(Inst {
+                kind: InstKind::Gep {
+                    base: Value::Global(p.global),
+                    index: Value::const_i64(0),
+                    scale: 0,
+                    disp: off,
+                },
+                ty: Some(Type::Ptr),
+            });
+            let loaded = func.add_inst(Inst {
+                kind: InstKind::Load(ty, Value::Inst(addr2)),
+                ty: Some(ty),
+            });
+            let cmp = func.add_inst(Inst {
+                kind: InstKind::Icmp(privateer_ir::CmpOp::Eq, Value::Inst(loaded), cval),
+                ty: Some(Type::I1),
+            });
+            let predict = func.add_inst(Inst {
+                kind: InstKind::CallIntrinsic(Intrinsic::Predict, vec![Value::Inst(cmp)]),
+                ty: None,
+            });
+            let block = func.block_mut(ret_block);
+            block.insts.push(addr2);
+            block.insts.push(loaded);
+            block.insts.push(cmp);
+            block.insts.push(predict);
+        }
+    }
+    Ok(())
+}
+
+/// Split predicted bytes into chunks the IR can load and store (8-byte
+/// aligned runs, byte fallbacks).
+fn chunks_of(bytes: &[u8]) -> Vec<(u64, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        if off.is_multiple_of(8) && bytes.len() - off >= 8 {
+            out.push((off as u64, bytes[off..off + 8].to_vec()));
+            off += 8;
+        } else {
+            out.push((off as u64, vec![bytes[off]]));
+            off += 1;
+        }
+    }
+    out
+}
+
+fn chunk_const(chunk: &[u8]) -> (Type, Value) {
+    if chunk.len() == 8 {
+        let v = i64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        (Type::I64, Value::const_i64(v))
+    } else {
+        (Type::I8, Value::const_i8(chunk[0] as i8))
+    }
+}
+
+/// Control speculation: blocks of the outlined body that never executed
+/// during profiling are replaced with `misspec()` (à la Chen/Mahlke/Hwu);
+/// their dependences vanish from the optimistic view, and straying into
+/// them at runtime triggers recovery.
+pub fn apply_control_speculation(
+    module: &mut Module,
+    body: FuncId,
+    cold_blocks: &[BlockId],
+) -> usize {
+    let func = module.func_mut(body);
+    let mut n = 0;
+    for &bb in cold_blocks {
+        let mis = func.add_inst(Inst {
+            kind: InstKind::CallIntrinsic(Intrinsic::Misspec, vec![]),
+            ty: None,
+        });
+        let block = func.block_mut(bb);
+        block.insts.clear();
+        block.insts.push(mis);
+        block.term = Term::Unreachable;
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_ir::builder::FunctionBuilder;
+    use privateer_ir::verify::verify_module;
+
+    #[test]
+    fn placement_merge_conflicts_detected() {
+        let mut p = PlacementMap::default();
+        let mut a = HeapAssignment::default();
+        a.private.insert(ObjectName::Global(GlobalId::new(0)));
+        p.merge(&a).unwrap();
+        let mut b = HeapAssignment::default();
+        b.read_only.insert(ObjectName::Global(GlobalId::new(0)));
+        assert!(p.merge(&b).is_err());
+        p.merge(&a).unwrap(); // same heap again is fine
+    }
+
+    #[test]
+    fn proves_heap_through_geps() {
+        let mut m = Module::new("t");
+        let g = m.add_global("g", 64);
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr], None);
+        let e = b.gep(Value::Global(g), Value::const_i64(2), 8, 0);
+        let e2 = b.gep(e, Value::const_i64(1), 8, 4);
+        b.store(Type::I32, Value::const_i32(1), e2);
+        let unk = b.param(0);
+        b.store(Type::I32, Value::const_i32(1), unk);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        let mut placement = PlacementMap::default();
+        placement.globals.insert(g, Heap::Private);
+        assert!(proves_heap(m.func(f), &placement, e2, Heap::Private));
+        assert!(!proves_heap(m.func(f), &placement, e2, Heap::ReadOnly));
+        assert!(!proves_heap(m.func(f), &placement, unk, Heap::Private));
+    }
+
+    #[test]
+    fn value_prediction_shapes_verify() {
+        let mut m = Module::new("t");
+        let g = m.add_global("q", 16);
+        m.global_mut(g).heap = Some(Heap::Private);
+        let mut b = FunctionBuilder::new("body", vec![Type::I64], None);
+        b.ret(None);
+        let body = m.add_function(b.finish());
+        insert_value_predictions(
+            &mut m,
+            body,
+            &[ValuePrediction {
+                global: g,
+                offset: 0,
+                bytes: vec![0; 16],
+            }],
+        )
+        .unwrap();
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}"));
+        let text = privateer_ir::printer::print_module(&m);
+        assert_eq!(text.matches("intr predict").count(), 2, "{text}");
+        assert_eq!(text.matches("intr private_write").count(), 2);
+    }
+
+    #[test]
+    fn chunking_mixed_alignment() {
+        let bytes = vec![1u8; 11];
+        let chunks = chunks_of(&bytes);
+        assert_eq!(chunks[0].1.len(), 8);
+        assert_eq!(chunks.len(), 1 + 3);
+        let total: usize = chunks.iter().map(|(_, c)| c.len()).sum();
+        assert_eq!(total, 11);
+    }
+
+    #[test]
+    fn control_speculation_replaces_blocks() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("body", vec![Type::I64], None);
+        let cold = b.new_block();
+        let warm = b.new_block();
+        let c = b.icmp(privateer_ir::CmpOp::Lt, b.param(0), Value::const_i64(0));
+        b.cond_br(c, cold, warm);
+        b.switch_to(cold);
+        b.print_i64(Value::const_i64(666));
+        b.ret(None);
+        b.switch_to(warm);
+        b.ret(None);
+        let body = m.add_function(b.finish());
+        let n = apply_control_speculation(&mut m, body, &[cold]);
+        assert_eq!(n, 1);
+        verify_module(&m).unwrap();
+        let text = privateer_ir::printer::print_function(&m, m.func(body));
+        assert!(text.contains("intr misspec()"), "{text}");
+        assert!(!text.contains("666"));
+    }
+
+    #[test]
+    fn replace_allocation_rewrites_malloc_and_alloca() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let p = b.malloc(Value::const_i64(24));
+        b.store(Type::I64, Value::const_i64(1), p);
+        let a = b.alloca(16, "tmp");
+        b.store(Type::I64, Value::const_i64(2), a);
+        b.free(p);
+        b.ret(None);
+        let main = m.add_function(b.finish());
+        let malloc_site = (main, p.as_inst().unwrap());
+        let alloca_site = (main, a.as_inst().unwrap());
+
+        let mut placement = PlacementMap::default();
+        placement.sites.insert(malloc_site, Heap::ShortLived);
+        placement.sites.insert(alloca_site, Heap::Private);
+
+        // A minimal profile so the free retargets: it frees the malloc
+        // object.
+        let mut profile = Profile::default();
+        let name = ObjectName::Site {
+            site: malloc_site,
+            path: vec![],
+        };
+        let free_site = (
+            main,
+            m.func(main)
+                .inst_ids_in_order()
+                .find(|&(_, i)| matches!(m.func(main).inst(i).kind, InstKind::Free(_)))
+                .map(|(_, i)| i)
+                .unwrap(),
+        );
+        profile
+            .access_objects
+            .insert(free_site, std::iter::once(name).collect());
+
+        replace_allocation(&mut m, &placement, &profile).unwrap();
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}"));
+        let text = privateer_ir::printer::print_function(&m, m.func(main));
+        assert!(text.contains("h_alloc.short"), "{text}");
+        assert!(text.contains("h_alloc.priv"), "{text}");
+        assert!(text.contains("h_dealloc.short"), "{text}");
+        // The alloca's balancing free at the return.
+        assert!(text.contains("h_dealloc.priv"), "{text}");
+        assert!(!text.contains(" malloc "), "{text}");
+    }
+}

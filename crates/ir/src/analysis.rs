@@ -1,0 +1,11 @@
+//! Static memory analyses.
+//!
+//! These power the *non-speculative* baseline (the paper's "DOALL-only"
+//! configuration, Figure 7) and let the Privateer transformation elide
+//! checks it can prove at compile time (§4.5).
+
+pub mod affine;
+pub mod pointsto;
+
+pub use affine::{AffineAddr, AffineBase};
+pub use pointsto::{AbstractObject, PointsTo};

@@ -1,0 +1,393 @@
+//! Affine (linear) address expressions relative to a loop induction
+//! variable.
+//!
+//! The classic array-dependence machinery (ZIV/strong-SIV subscript tests)
+//! needs addresses of the form `base + a·iv + Σ cᵢ·symᵢ + k` where the
+//! `symᵢ` are loop-invariant. This module recovers that form from GEP
+//! chains. It powers the non-speculative DOALL baseline and, within
+//! Privateer, the elision of provably redundant separation checks.
+
+use crate::func::{BlockId, Function, InstId};
+use crate::inst::{BinOp, CastOp, InstKind};
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The root of an address expression: a pointer not produced by address
+/// arithmetic inside the loop.
+pub type AffineBase = Value;
+
+/// A linear integer expression `iv_coeff·iv + Σ coeff·sym + konst`, with all
+/// `sym` loop-invariant.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    /// Coefficient of the loop induction variable.
+    pub iv_coeff: i64,
+    /// Constant term.
+    pub konst: i64,
+    /// Loop-invariant symbolic terms and their coefficients.
+    pub syms: BTreeMap<Value, i64>,
+}
+
+impl LinExpr {
+    fn constant(k: i64) -> LinExpr {
+        LinExpr {
+            konst: k,
+            ..LinExpr::default()
+        }
+    }
+
+    fn sym(v: Value) -> LinExpr {
+        let mut syms = BTreeMap::new();
+        syms.insert(v, 1);
+        LinExpr {
+            syms,
+            ..LinExpr::default()
+        }
+    }
+
+    fn iv() -> LinExpr {
+        LinExpr {
+            iv_coeff: 1,
+            ..LinExpr::default()
+        }
+    }
+
+    fn add(mut self, other: &LinExpr) -> LinExpr {
+        self.iv_coeff += other.iv_coeff;
+        self.konst += other.konst;
+        for (&s, &c) in &other.syms {
+            let e = self.syms.entry(s).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                self.syms.remove(&s);
+            }
+        }
+        self
+    }
+
+    fn neg(mut self) -> LinExpr {
+        self.iv_coeff = -self.iv_coeff;
+        self.konst = -self.konst;
+        for c in self.syms.values_mut() {
+            *c = -*c;
+        }
+        self
+    }
+
+    fn scale(mut self, k: i64) -> LinExpr {
+        if k == 0 {
+            return LinExpr::default();
+        }
+        self.iv_coeff *= k;
+        self.konst *= k;
+        for c in self.syms.values_mut() {
+            *c *= k;
+        }
+        self
+    }
+
+    /// Whether the symbolic parts (everything except the constant) of the
+    /// two expressions are identical.
+    pub fn same_shape(&self, other: &LinExpr) -> bool {
+        self.iv_coeff == other.iv_coeff && self.syms == other.syms
+    }
+}
+
+/// An address decomposed as `base + lin`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineAddr {
+    /// The root pointer (loop-invariant or a fixed object address).
+    pub base: AffineBase,
+    /// The linear byte offset from `base`.
+    pub lin: LinExpr,
+}
+
+/// Context for affine analysis: the loop body and its induction variable.
+#[derive(Debug, Clone)]
+pub struct AffineCtx<'a> {
+    /// Function being analyzed.
+    pub func: &'a Function,
+    /// Blocks of the loop.
+    pub loop_blocks: &'a BTreeSet<BlockId>,
+    /// The induction-variable phi.
+    pub iv: InstId,
+}
+
+impl AffineCtx<'_> {
+    fn defined_in_loop(&self, v: Value) -> bool {
+        match v {
+            Value::Inst(i) => self
+                .func
+                .block_of(i)
+                .is_some_and(|bb| self.loop_blocks.contains(&bb)),
+            _ => false,
+        }
+    }
+
+    /// Decompose an integer value into a linear expression in the induction
+    /// variable, if possible.
+    pub fn linearize(&self, v: Value) -> Option<LinExpr> {
+        self.linearize_depth(v, 0)
+    }
+
+    fn linearize_depth(&self, v: Value, depth: u32) -> Option<LinExpr> {
+        if depth > 32 {
+            return None;
+        }
+        if let Value::ConstInt(k, _) = v {
+            return Some(LinExpr::constant(k));
+        }
+        if v == Value::Inst(self.iv) {
+            return Some(LinExpr::iv());
+        }
+        if !self.defined_in_loop(v) {
+            // Loop-invariant: a symbol.
+            return Some(LinExpr::sym(v));
+        }
+        let Value::Inst(id) = v else { return None };
+        match &self.func.inst(id).kind {
+            InstKind::Bin(BinOp::Add, a, b) => {
+                let a = self.linearize_depth(*a, depth + 1)?;
+                let b = self.linearize_depth(*b, depth + 1)?;
+                Some(a.add(&b))
+            }
+            InstKind::Bin(BinOp::Sub, a, b) => {
+                let a = self.linearize_depth(*a, depth + 1)?;
+                let b = self.linearize_depth(*b, depth + 1)?;
+                Some(a.add(&b.neg()))
+            }
+            InstKind::Bin(BinOp::Mul, a, b) => {
+                let la = self.linearize_depth(*a, depth + 1)?;
+                let lb = self.linearize_depth(*b, depth + 1)?;
+                if let Value::ConstInt(k, _) = *b {
+                    return Some(la.scale(k));
+                }
+                if let Value::ConstInt(k, _) = *a {
+                    return Some(lb.scale(k));
+                }
+                None
+            }
+            // Width changes are treated as the identity; the baseline
+            // accepts the (documented) assumption that subscripts do not
+            // wrap.
+            InstKind::Cast(CastOp::Sext | CastOp::Zext | CastOp::Trunc, x, _) => {
+                self.linearize_depth(*x, depth + 1)
+            }
+            _ => None,
+        }
+    }
+
+    /// Decompose a pointer value into base + linear offset, if possible.
+    pub fn affine_addr(&self, ptr: Value) -> Option<AffineAddr> {
+        self.affine_addr_depth(ptr, 0)
+    }
+
+    fn affine_addr_depth(&self, ptr: Value, depth: u32) -> Option<AffineAddr> {
+        if depth > 32 {
+            return None;
+        }
+        if !self.defined_in_loop(ptr) {
+            return Some(AffineAddr {
+                base: ptr,
+                lin: LinExpr::default(),
+            });
+        }
+        let Value::Inst(id) = ptr else {
+            return Some(AffineAddr {
+                base: ptr,
+                lin: LinExpr::default(),
+            });
+        };
+        match &self.func.inst(id).kind {
+            InstKind::Gep {
+                base,
+                index,
+                scale,
+                disp,
+            } => {
+                let inner = self.affine_addr_depth(*base, depth + 1)?;
+                let idx = self.linearize_depth(*index, depth + 1)?;
+                let lin = inner
+                    .lin
+                    .add(&idx.scale(*scale as i64))
+                    .add(&LinExpr::constant(*disp));
+                Some(AffineAddr {
+                    base: inner.base,
+                    lin,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Result of a cross-iteration overlap test between two affine accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepTest {
+    /// Provably no overlap between *different* iterations.
+    NoCrossIterationDep,
+    /// Overlap between different iterations is possible (or unprovable).
+    MayDep,
+}
+
+/// Strong-SIV style test: can accesses `a` (of `a_size` bytes) and `b` (of
+/// `b_size` bytes) with the same base touch a common byte in *different*
+/// iterations?
+///
+/// Requires both linear forms to have identical symbolic parts. The test is
+/// conservative: any doubt answers [`DepTest::MayDep`].
+pub fn cross_iteration_test(a: &LinExpr, a_size: u32, b: &LinExpr, b_size: u32) -> DepTest {
+    if !a.same_shape(b) {
+        // Differing symbolic coefficients — can't reason.
+        return DepTest::MayDep;
+    }
+    let coeff = a.iv_coeff;
+    if coeff == 0 {
+        // Same (symbolic) address in every iteration: if the ranges overlap
+        // at all, they overlap across iterations.
+        let delta = (b.konst - a.konst).unsigned_abs();
+        let reach = if b.konst >= a.konst { a_size } else { b_size };
+        return if delta < reach as u64 {
+            DepTest::MayDep
+        } else {
+            DepTest::NoCrossIterationDep
+        };
+    }
+    // Access in iteration i: [base + coeff·i + k, +size). For iterations
+    // i ≠ j, the byte ranges are disjoint when |coeff·(i−j) + (k_b−k_a)|
+    // ≥ max reach, which holds for all i ≠ j when the stride dominates the
+    // footprint: |coeff| ≥ offset-spread + max size.
+    let spread = (a.konst - b.konst).unsigned_abs();
+    let max_size = a_size.max(b_size) as u64;
+    if coeff.unsigned_abs() >= spread + max_size {
+        DepTest::NoCrossIterationDep
+    } else {
+        DepTest::MayDep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::cfg::Cfg;
+    use crate::dom::DomTree;
+    use crate::inst::CmpOp;
+    use crate::loops::LoopInfo;
+    use crate::types::Type;
+
+    /// Build `for i in 0..n { a[i] = a[i] + t[k] }` and return the pieces.
+    fn build() -> (Function, InstId, BTreeSet<BlockId>, Value, Value) {
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr, Type::I64, Type::I64], None);
+        let arr = b.param(0);
+        let n = b.param(1);
+        let k = b.param(2);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Lt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let ai = b.gep(arr, i, 8, 0);
+        let off = b.gep(arr, k, 8, 16);
+        let v = b.load(Type::I64, ai);
+        b.store(Type::I64, v, ai);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let li = LoopInfo::new(&f, &cfg, &dom);
+        let (_, l) = li.iter().next().unwrap();
+        (f.clone(), i_phi, l.blocks.clone(), ai, off)
+    }
+
+    #[test]
+    fn gep_of_iv_is_affine() {
+        let (f, iv, blocks, ai, _) = build();
+        let ctx = AffineCtx {
+            func: &f,
+            loop_blocks: &blocks,
+            iv,
+        };
+        let a = ctx.affine_addr(ai).unwrap();
+        assert_eq!(a.base, Value::Param(0));
+        assert_eq!(a.lin.iv_coeff, 8);
+        assert_eq!(a.lin.konst, 0);
+        assert!(a.lin.syms.is_empty());
+    }
+
+    #[test]
+    fn symbolic_offset_kept() {
+        let (f, iv, blocks, _, off) = build();
+        let ctx = AffineCtx {
+            func: &f,
+            loop_blocks: &blocks,
+            iv,
+        };
+        let a = ctx.affine_addr(off).unwrap();
+        assert_eq!(a.lin.iv_coeff, 0);
+        assert_eq!(a.lin.konst, 16);
+        assert_eq!(a.lin.syms.get(&Value::Param(2)), Some(&8));
+    }
+
+    #[test]
+    fn strong_siv_no_dep() {
+        // a[i] vs a[i]: 8-byte stride, 8-byte access -> no cross-iter dep.
+        let e = LinExpr {
+            iv_coeff: 8,
+            konst: 0,
+            syms: BTreeMap::new(),
+        };
+        assert_eq!(cross_iteration_test(&e, 8, &e, 8), DepTest::NoCrossIterationDep);
+    }
+
+    #[test]
+    fn overlapping_window_dep() {
+        // a[i] vs a[i+1] (same coeff, offsets differ by one element):
+        // iteration i writes what iteration i+1 reads.
+        let w = LinExpr {
+            iv_coeff: 8,
+            konst: 0,
+            syms: BTreeMap::new(),
+        };
+        let r = LinExpr {
+            iv_coeff: 8,
+            konst: 8,
+            syms: BTreeMap::new(),
+        };
+        assert_eq!(cross_iteration_test(&w, 8, &r, 8), DepTest::MayDep);
+    }
+
+    #[test]
+    fn loop_invariant_address_dep() {
+        let e = LinExpr::constant(0);
+        assert_eq!(cross_iteration_test(&e, 8, &e, 8), DepTest::MayDep);
+        let far = LinExpr::constant(64);
+        assert_eq!(cross_iteration_test(&e, 8, &far, 8), DepTest::NoCrossIterationDep);
+    }
+
+    #[test]
+    fn mismatched_symbols_are_may_dep() {
+        let mut a = LinExpr::constant(0);
+        a.syms.insert(Value::Param(1), 4);
+        let b = LinExpr::constant(0);
+        assert_eq!(cross_iteration_test(&a, 4, &b, 4), DepTest::MayDep);
+    }
+
+    #[test]
+    fn linexpr_algebra() {
+        let a = LinExpr::iv().scale(4).add(&LinExpr::constant(12));
+        assert_eq!(a.iv_coeff, 4);
+        assert_eq!(a.konst, 12);
+        let b = a.clone().add(&a.clone().neg());
+        assert_eq!(b, LinExpr::default());
+    }
+}

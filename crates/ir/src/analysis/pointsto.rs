@@ -1,0 +1,352 @@
+//! Flow-insensitive, field-insensitive, inclusion-based points-to analysis
+//! (Andersen-style), whole-module.
+//!
+//! This is deliberately a *weak* analysis: the paper's central claim is that
+//! static analysis alone cannot determine memory layout for programs with
+//! pointers and dynamic allocation (§1, Table 1), so the non-speculative
+//! baseline must live with results of roughly this strength.
+
+use crate::func::{FuncId, InstId};
+use crate::inst::{CastOp, InstKind, Intrinsic};
+use crate::module::{GlobalId, Module};
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A static name for a set of runtime memory objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbstractObject {
+    /// A module-level global variable.
+    Global(GlobalId),
+    /// All objects allocated by one static allocation site.
+    Site(FuncId, InstId),
+}
+
+/// A points-to set: either a finite set of abstract objects, or "anything"
+/// (after an `inttoptr` whose source the analysis cannot trace).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PtSet {
+    /// `true` means the pointer may reference any object.
+    pub unknown: bool,
+    /// Known possible targets.
+    pub objects: BTreeSet<AbstractObject>,
+}
+
+impl PtSet {
+    fn union_from(&mut self, other: &PtSet) -> bool {
+        let mut changed = false;
+        if other.unknown && !self.unknown {
+            self.unknown = true;
+            changed = true;
+        }
+        for &o in &other.objects {
+            changed |= self.objects.insert(o);
+        }
+        changed
+    }
+
+    /// Whether the two sets may share an object.
+    pub fn may_overlap(&self, other: &PtSet) -> bool {
+        if self.unknown || other.unknown {
+            return true;
+        }
+        self.objects.intersection(&other.objects).next().is_some()
+    }
+}
+
+/// An SSA pointer variable, module-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Var {
+    Inst(FuncId, InstId),
+    Param(FuncId, u32),
+    Ret(FuncId),
+}
+
+/// The result of the analysis: query points-to sets of pointers.
+#[derive(Debug, Clone)]
+pub struct PointsTo {
+    vars: BTreeMap<Var, PtSet>,
+    heap: BTreeMap<AbstractObject, PtSet>,
+    all_objects: BTreeSet<AbstractObject>,
+}
+
+impl PointsTo {
+    /// Run the analysis on `module`.
+    pub fn analyze(module: &Module) -> PointsTo {
+        let mut a = PointsTo {
+            vars: BTreeMap::new(),
+            heap: BTreeMap::new(),
+            all_objects: BTreeSet::new(),
+        };
+        for g in module.global_ids() {
+            a.all_objects.insert(AbstractObject::Global(g));
+        }
+        for f in module.func_ids() {
+            for (i, inst) in module.func(f).insts.iter().enumerate() {
+                if inst.is_allocation() {
+                    a.all_objects.insert(AbstractObject::Site(f, InstId::new(i)));
+                }
+            }
+        }
+
+        // Iterate constraint application to a fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for f in module.func_ids() {
+                let func = module.func(f);
+                for (idx, inst) in func.insts.iter().enumerate() {
+                    let id = InstId::new(idx);
+                    let target = Var::Inst(f, id);
+                    match &inst.kind {
+                        InstKind::Alloca { .. } | InstKind::Malloc(_) => {
+                            changed |= a.add_object(target, AbstractObject::Site(f, id));
+                        }
+                        InstKind::CallIntrinsic(Intrinsic::HAlloc(_), _) => {
+                            changed |= a.add_object(target, AbstractObject::Site(f, id));
+                        }
+                        InstKind::Gep { base, .. } => {
+                            changed |= a.flow_value(f, *base, target);
+                        }
+                        InstKind::Cast(op, v, _) => match op {
+                            CastOp::IntToPtr => changed |= a.set_unknown(target),
+                            CastOp::PtrToInt | CastOp::Bitcast => {
+                                changed |= a.flow_value(f, *v, target)
+                            }
+                            _ => {}
+                        },
+                        InstKind::Phi(_, incoming) => {
+                            for (_, v) in incoming {
+                                changed |= a.flow_value(f, *v, target);
+                            }
+                        }
+                        InstKind::Select(_, _, t, e) => {
+                            changed |= a.flow_value(f, *t, target);
+                            changed |= a.flow_value(f, *e, target);
+                        }
+                        InstKind::Load(_, addr) => {
+                            // result ⊇ ⋃ heap(o) for o in pts(addr)
+                            let addr_set = a.value_set(f, *addr);
+                            let mut acc = PtSet::default();
+                            if addr_set.unknown {
+                                acc.unknown = true;
+                            }
+                            for o in &addr_set.objects {
+                                if let Some(h) = a.heap.get(o) {
+                                    acc.union_from(&h.clone());
+                                }
+                            }
+                            changed |= a.var_union(target, &acc);
+                        }
+                        InstKind::Store(_, val, addr) => {
+                            let val_set = a.value_set(f, *val);
+                            let addr_set = a.value_set(f, *addr);
+                            if addr_set.unknown {
+                                // A store through an unknown pointer may hit
+                                // any object.
+                                for o in a.all_objects.clone() {
+                                    changed |= a.heap_union(o, &val_set);
+                                }
+                            }
+                            for o in addr_set.objects.clone() {
+                                changed |= a.heap_union(o, &val_set);
+                            }
+                        }
+                        InstKind::Call(callee, args) => {
+                            for (n, &arg) in args.iter().enumerate() {
+                                changed |= a.flow_value(f, arg, Var::Param(*callee, n as u32));
+                            }
+                            let ret = a
+                                .vars
+                                .get(&Var::Ret(*callee))
+                                .cloned()
+                                .unwrap_or_default();
+                            changed |= a.var_union(target, &ret);
+                        }
+                        _ => {}
+                    }
+                }
+                // Returned pointers flow into Ret(f).
+                for bb in func.block_ids() {
+                    if let crate::inst::Term::Ret(Some(v)) = func.block(bb).term {
+                        changed |= a.flow_value(f, v, Var::Ret(f));
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    fn add_object(&mut self, var: Var, obj: AbstractObject) -> bool {
+        self.vars.entry(var).or_default().objects.insert(obj)
+    }
+
+    fn set_unknown(&mut self, var: Var) -> bool {
+        let e = self.vars.entry(var).or_default();
+        if e.unknown {
+            false
+        } else {
+            e.unknown = true;
+            true
+        }
+    }
+
+    fn var_union(&mut self, var: Var, set: &PtSet) -> bool {
+        self.vars.entry(var).or_default().union_from(set)
+    }
+
+    fn heap_union(&mut self, obj: AbstractObject, set: &PtSet) -> bool {
+        self.heap.entry(obj).or_default().union_from(set)
+    }
+
+    fn flow_value(&mut self, f: FuncId, v: Value, target: Var) -> bool {
+        let set = self.value_set(f, v);
+        self.var_union(target, &set)
+    }
+
+    fn value_set(&self, f: FuncId, v: Value) -> PtSet {
+        match v {
+            Value::Global(g) => PtSet {
+                unknown: false,
+                objects: BTreeSet::from([AbstractObject::Global(g)]),
+            },
+            Value::Inst(i) => self.vars.get(&Var::Inst(f, i)).cloned().unwrap_or_default(),
+            Value::Param(n) => self
+                .vars
+                .get(&Var::Param(f, n))
+                .cloned()
+                .unwrap_or_default(),
+            Value::ConstInt(..) | Value::ConstF64(_) | Value::Null => PtSet::default(),
+        }
+    }
+
+    /// The points-to set of `v` evaluated in function `f`.
+    pub fn points_to(&self, f: FuncId, v: Value) -> PtSet {
+        self.value_set(f, v)
+    }
+
+    /// Whether two pointer values may alias (may reference a common object).
+    pub fn may_alias(&self, f: FuncId, a: Value, b: Value) -> bool {
+        self.points_to(f, a).may_overlap(&self.points_to(f, b))
+    }
+
+    /// Every abstract object in the module.
+    pub fn all_objects(&self) -> &BTreeSet<AbstractObject> {
+        &self.all_objects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn distinct_mallocs_do_not_alias() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let p = b.malloc(Value::const_i64(8));
+        let q = b.malloc(Value::const_i64(8));
+        b.store(Type::I64, Value::const_i64(1), p);
+        b.store(Type::I64, Value::const_i64(2), q);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        let pts = PointsTo::analyze(&m);
+        assert!(!pts.may_alias(f, p, q));
+        assert!(pts.may_alias(f, p, p));
+    }
+
+    #[test]
+    fn phi_merges_targets() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![Type::I64], None);
+        let p = b.malloc(Value::const_i64(8));
+        let q = b.malloc(Value::const_i64(8));
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.icmp(crate::inst::CmpOp::Lt, b.param(0), Value::const_i64(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let (r, phi) = b.phi(Type::Ptr);
+        b.add_phi_incoming(phi, t, p);
+        b.add_phi_incoming(phi, e, q);
+        b.store(Type::I64, Value::const_i64(0), r);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        let pts = PointsTo::analyze(&m);
+        assert!(pts.may_alias(f, r, p));
+        assert!(pts.may_alias(f, r, q));
+    }
+
+    #[test]
+    fn heap_indirection_tracked() {
+        // store p into *cell; load *cell must alias p.
+        let mut m = Module::new("t");
+        let cell = m.add_global("cell", 8);
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let p = b.malloc(Value::const_i64(8));
+        b.store(Type::Ptr, p, Value::Global(cell));
+        let r = b.load(Type::Ptr, Value::Global(cell));
+        b.store(Type::I64, Value::const_i64(0), r);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        let pts = PointsTo::analyze(&m);
+        assert!(pts.may_alias(f, r, p));
+        assert!(!pts.may_alias(f, r, Value::Global(cell)));
+    }
+
+    #[test]
+    fn inttoptr_is_unknown() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![Type::I64], None);
+        let p = b.cast(crate::inst::CastOp::IntToPtr, b.param(0), Type::Ptr);
+        let q = b.malloc(Value::const_i64(8));
+        b.store(Type::I64, Value::const_i64(0), p);
+        b.store(Type::I64, Value::const_i64(0), q);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        let pts = PointsTo::analyze(&m);
+        assert!(pts.points_to(f, p).unknown);
+        assert!(pts.may_alias(f, p, q));
+    }
+
+    #[test]
+    fn interprocedural_param_and_ret() {
+        let mut m = Module::new("t");
+        // id(ptr) -> ptr
+        let mut idb = FunctionBuilder::new("id", vec![Type::Ptr], Some(Type::Ptr));
+        let arg = idb.param(0);
+        idb.ret(Some(arg));
+        let id = m.add_function(idb.finish());
+
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let p = b.malloc(Value::const_i64(8));
+        let q = b.call(id, vec![p], Some(Type::Ptr)).unwrap();
+        let other = b.malloc(Value::const_i64(8));
+        b.store(Type::I64, Value::const_i64(0), q);
+        b.store(Type::I64, Value::const_i64(0), other);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        let pts = PointsTo::analyze(&m);
+        assert!(pts.may_alias(f, q, p));
+        assert!(!pts.may_alias(f, q, other));
+    }
+
+    #[test]
+    fn gep_preserves_target() {
+        let mut m = Module::new("t");
+        let g = m.add_global("arr", 400);
+        let mut b = FunctionBuilder::new("main", vec![Type::I64], None);
+        let e = b.gep(Value::Global(g), b.param(0), 4, 0);
+        b.store(Type::I32, Value::const_i32(1), e);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        let pts = PointsTo::analyze(&m);
+        assert!(pts.may_alias(f, e, Value::Global(g)));
+    }
+}

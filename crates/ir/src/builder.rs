@@ -1,0 +1,383 @@
+//! Programmatic IR construction.
+
+use crate::func::{BlockId, Function, FuncId, InstId};
+use crate::inst::{BinOp, CastOp, CmpOp, Inst, InstKind, Intrinsic, Term};
+use crate::types::Type;
+use crate::value::Value;
+
+/// Builds a [`Function`] one instruction at a time.
+///
+/// The builder maintains a *current block*; instruction emitters append to
+/// it. Each block must be finished with exactly one terminator
+/// ([`ret`](Self::ret), [`br`](Self::br), [`cond_br`](Self::cond_br)) before
+/// the function is [`finish`](Self::finish)ed.
+///
+/// # Example
+///
+/// ```
+/// use privateer_ir::builder::FunctionBuilder;
+/// use privateer_ir::{CmpOp, Type, Value};
+///
+/// // fn count(n: i64) -> i64 { let mut i = 0; while i < n { i += 1 } i }
+/// let mut b = FunctionBuilder::new("count", vec![Type::I64], Some(Type::I64));
+/// let n = b.param(0);
+/// let header = b.new_block();
+/// let body = b.new_block();
+/// let exit = b.new_block();
+/// b.br(header);
+///
+/// b.switch_to(header);
+/// let (i, i_phi) = b.phi(Type::I64);
+/// b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+/// let cond = b.icmp(CmpOp::Lt, i, n);
+/// b.cond_br(cond, body, exit);
+///
+/// b.switch_to(body);
+/// let next = b.add(Type::I64, i, Value::const_i64(1));
+/// b.add_phi_incoming(i_phi, body, next);
+/// b.br(header);
+///
+/// b.switch_to(exit);
+/// b.ret(Some(i));
+/// let func = b.finish();
+/// assert_eq!(func.name, "count");
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start building a function. The current block is the entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret: Option<Type>) -> FunctionBuilder {
+        let func = Function::new(name, params, ret);
+        let cur = func.entry();
+        FunctionBuilder { func, cur }
+    }
+
+    /// Finish and return the function.
+    ///
+    /// The result is *not* verified; run [`crate::verify::verify_function`]
+    /// if the construction is not trusted.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// The entry block id.
+    pub fn entry_block(&self) -> BlockId {
+        self.func.entry()
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Value of the `n`-th parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn param(&self, n: usize) -> Value {
+        assert!(n < self.func.params.len(), "parameter index out of range");
+        Value::Param(n as u32)
+    }
+
+    /// Create a new, empty block (does not switch to it).
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Make `bb` the current block.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.cur = bb;
+    }
+
+    fn emit(&mut self, kind: InstKind, ty: Option<Type>) -> InstId {
+        let id = self.func.add_inst(Inst { kind, ty });
+        self.func.block_mut(self.cur).insts.push(id);
+        id
+    }
+
+    fn emit_value(&mut self, kind: InstKind, ty: Type) -> Value {
+        Value::Inst(self.emit(kind, Some(ty)))
+    }
+
+    /// Emit a binary operation.
+    pub fn bin(&mut self, op: BinOp, ty: Type, a: Value, b: Value) -> Value {
+        self.emit_value(InstKind::Bin(op, a, b), ty)
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Add, ty, a, b)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Sub, ty, a, b)
+    }
+
+    /// `a * b`.
+    pub fn mul(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Mul, ty, a, b)
+    }
+
+    /// Float `a + b`.
+    pub fn fadd(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::FAdd, Type::F64, a, b)
+    }
+
+    /// Float `a - b`.
+    pub fn fsub(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::FSub, Type::F64, a, b)
+    }
+
+    /// Float `a * b`.
+    pub fn fmul(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::FMul, Type::F64, a, b)
+    }
+
+    /// Float `a / b`.
+    pub fn fdiv(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::FDiv, Type::F64, a, b)
+    }
+
+    /// Signed integer comparison producing `i1`.
+    pub fn icmp(&mut self, op: CmpOp, a: Value, b: Value) -> Value {
+        self.emit_value(InstKind::Icmp(op, a, b), Type::I1)
+    }
+
+    /// Ordered float comparison producing `i1`.
+    pub fn fcmp(&mut self, op: CmpOp, a: Value, b: Value) -> Value {
+        self.emit_value(InstKind::Fcmp(op, a, b), Type::I1)
+    }
+
+    /// Emit a cast.
+    pub fn cast(&mut self, op: CastOp, v: Value, to: Type) -> Value {
+        self.emit_value(InstKind::Cast(op, v, to), to)
+    }
+
+    /// Sign-extend to `to`.
+    pub fn sext(&mut self, v: Value, to: Type) -> Value {
+        self.cast(CastOp::Sext, v, to)
+    }
+
+    /// Zero-extend to `to`.
+    pub fn zext(&mut self, v: Value, to: Type) -> Value {
+        self.cast(CastOp::Zext, v, to)
+    }
+
+    /// Truncate to `to`.
+    pub fn trunc(&mut self, v: Value, to: Type) -> Value {
+        self.cast(CastOp::Trunc, v, to)
+    }
+
+    /// Signed int → float.
+    pub fn sitofp(&mut self, v: Value) -> Value {
+        self.cast(CastOp::SiToFp, v, Type::F64)
+    }
+
+    /// Float → signed int (toward zero).
+    pub fn fptosi(&mut self, v: Value, to: Type) -> Value {
+        self.cast(CastOp::FpToSi, v, to)
+    }
+
+    /// `load ty, ptr`.
+    pub fn load(&mut self, ty: Type, ptr: Value) -> Value {
+        self.emit_value(InstKind::Load(ty, ptr), ty)
+    }
+
+    /// `store ty val, ptr`.
+    pub fn store(&mut self, ty: Type, val: Value, ptr: Value) {
+        self.emit(InstKind::Store(ty, val, ptr), None);
+    }
+
+    /// A named stack slot of `size` bytes.
+    pub fn alloca(&mut self, size: u64, name: impl Into<String>) -> Value {
+        self.emit_value(
+            InstKind::Alloca {
+                size,
+                name: name.into(),
+            },
+            Type::Ptr,
+        )
+    }
+
+    /// `malloc(size)`.
+    pub fn malloc(&mut self, size: Value) -> Value {
+        self.emit_value(InstKind::Malloc(size), Type::Ptr)
+    }
+
+    /// `free(ptr)`.
+    pub fn free(&mut self, ptr: Value) {
+        self.emit(InstKind::Free(ptr), None);
+    }
+
+    /// Address arithmetic: `base + index * scale + disp`.
+    pub fn gep(&mut self, base: Value, index: Value, scale: u64, disp: i64) -> Value {
+        self.emit_value(
+            InstKind::Gep {
+                base,
+                index,
+                scale,
+                disp,
+            },
+            Type::Ptr,
+        )
+    }
+
+    /// `base + disp` (constant field offset).
+    pub fn gep_const(&mut self, base: Value, disp: i64) -> Value {
+        self.gep(base, Value::const_i64(0), 0, disp)
+    }
+
+    /// Direct call. `ret` must match the callee's return type (the verifier
+    /// checks this once the module is assembled).
+    pub fn call(&mut self, callee: FuncId, args: Vec<Value>, ret: Option<Type>) -> Option<Value> {
+        let id = self.emit(InstKind::Call(callee, args), ret);
+        ret.map(|_| Value::Inst(id))
+    }
+
+    /// Call an intrinsic.
+    pub fn intrinsic(&mut self, which: Intrinsic, args: Vec<Value>) -> Option<Value> {
+        let ty = which.result_type();
+        let id = self.emit(InstKind::CallIntrinsic(which, args), ty);
+        ty.map(|_| Value::Inst(id))
+    }
+
+    /// `print_i64(v)`.
+    pub fn print_i64(&mut self, v: Value) {
+        self.intrinsic(Intrinsic::PrintI64, vec![v]);
+    }
+
+    /// `print_f64(v)`.
+    pub fn print_f64(&mut self, v: Value) {
+        self.intrinsic(Intrinsic::PrintF64, vec![v]);
+    }
+
+    /// `print_str(ptr, len)`.
+    pub fn print_str(&mut self, ptr: Value, len: Value) {
+        self.intrinsic(Intrinsic::PrintStr, vec![ptr, len]);
+    }
+
+    /// Create a phi in the *current* block (inserted before non-phi
+    /// instructions). Incoming values are added later with
+    /// [`add_phi_incoming`](Self::add_phi_incoming).
+    pub fn phi(&mut self, ty: Type) -> (Value, InstId) {
+        let id = self.func.add_inst(Inst {
+            kind: InstKind::Phi(ty, Vec::new()),
+            ty: Some(ty),
+        });
+        // Keep phis grouped at the front of the block.
+        let block = self.func.block(self.cur);
+        let pos = block
+            .insts
+            .iter()
+            .position(|&i| !matches!(self.func.insts[i.index()].kind, InstKind::Phi(..)))
+            .unwrap_or(block.insts.len());
+        self.func.block_mut(self.cur).insts.insert(pos, id);
+        (Value::Inst(id), id)
+    }
+
+    /// Add an incoming `(pred, value)` edge to a phi created by
+    /// [`phi`](Self::phi).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` does not name a phi instruction.
+    pub fn add_phi_incoming(&mut self, phi: InstId, pred: BlockId, value: Value) {
+        match &mut self.func.inst_mut(phi).kind {
+            InstKind::Phi(_, incoming) => incoming.push((pred, value)),
+            other => panic!("add_phi_incoming on non-phi {other:?}"),
+        }
+    }
+
+    /// `select cond, then, else`.
+    pub fn select(&mut self, ty: Type, cond: Value, t: Value, e: Value) -> Value {
+        self.emit_value(InstKind::Select(ty, cond, t, e), ty)
+    }
+
+    /// Terminate the current block with a return.
+    pub fn ret(&mut self, v: Option<Value>) {
+        self.func.block_mut(self.cur).term = Term::Ret(v);
+    }
+
+    /// Terminate the current block with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.func.block_mut(self.cur).term = Term::Br(target);
+    }
+
+    /// Terminate the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
+        self.func.block_mut(self.cur).term = Term::CondBr(cond, then_bb, else_bb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_function;
+    use crate::Module;
+
+    #[test]
+    fn straight_line() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], Some(Type::I64));
+        let p = b.param(0);
+        let x = b.add(Type::I64, p, Value::const_i64(2));
+        let y = b.mul(Type::I64, x, x);
+        b.ret(Some(y));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.insts.len(), 2);
+        assert!(matches!(f.block(f.entry()).term, Term::Ret(Some(_))));
+    }
+
+    #[test]
+    fn phis_stay_in_front() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let bb = b.new_block();
+        b.br(bb);
+        b.switch_to(bb);
+        let x = b.add(Type::I64, Value::const_i64(1), Value::const_i64(2));
+        let (_, phi) = b.phi(Type::I64);
+        b.add_phi_incoming(phi, b.entry_block(), Value::const_i64(0));
+        b.add_phi_incoming(phi, bb, x);
+        b.br(bb);
+        let f = b.finish();
+        let first = f.block(bb).insts[0];
+        assert!(matches!(f.inst(first).kind, InstKind::Phi(..)));
+    }
+
+    #[test]
+    fn doc_loop_verifies() {
+        let mut b = FunctionBuilder::new("count", vec![Type::I64], Some(Type::I64));
+        let n = b.param(0);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let cond = b.icmp(CmpOp::Lt, i, n);
+        b.cond_br(cond, body, exit);
+        b.switch_to(body);
+        let next = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, next);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let f = b.finish();
+        let m = Module::new("t");
+        verify_function(&m, &f).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter index out of range")]
+    fn bad_param_panics() {
+        let b = FunctionBuilder::new("f", vec![], None);
+        let _ = b.param(0);
+    }
+}

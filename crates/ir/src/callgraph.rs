@@ -1,0 +1,119 @@
+//! Call-graph construction and queries.
+
+use crate::func::FuncId;
+use crate::inst::InstKind;
+use crate::module::Module;
+use std::collections::BTreeSet;
+
+/// The static call graph of a module (direct calls only — the IR has no
+/// indirect calls).
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    callees: Vec<BTreeSet<FuncId>>,
+    callers: Vec<BTreeSet<FuncId>>,
+}
+
+impl CallGraph {
+    /// Build the call graph of `module`.
+    pub fn new(module: &Module) -> CallGraph {
+        let n = module.functions.len();
+        let mut callees = vec![BTreeSet::new(); n];
+        let mut callers = vec![BTreeSet::new(); n];
+        for f in module.func_ids() {
+            for inst in &module.func(f).insts {
+                if let InstKind::Call(callee, _) = inst.kind {
+                    callees[f.index()].insert(callee);
+                    callers[callee.index()].insert(f);
+                }
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Functions directly called by `f`.
+    pub fn callees(&self, f: FuncId) -> &BTreeSet<FuncId> {
+        &self.callees[f.index()]
+    }
+
+    /// Functions that directly call `f`.
+    pub fn callers(&self, f: FuncId) -> &BTreeSet<FuncId> {
+        &self.callers[f.index()]
+    }
+
+    /// All functions reachable from `roots` (inclusive), following call
+    /// edges.
+    pub fn reachable_from(&self, roots: impl IntoIterator<Item = FuncId>) -> BTreeSet<FuncId> {
+        let mut seen: BTreeSet<FuncId> = BTreeSet::new();
+        let mut stack: Vec<FuncId> = roots.into_iter().collect();
+        while let Some(f) = stack.pop() {
+            if seen.insert(f) {
+                stack.extend(self.callees(f).iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// Whether `f` can (transitively) call itself.
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<FuncId> = self.callees(f).iter().copied().collect();
+        while let Some(g) = stack.pop() {
+            if g == f {
+                return true;
+            }
+            if seen.insert(g) {
+                stack.extend(self.callees(g).iter().copied());
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::func::Function;
+
+    fn call_only(name: &str, callee: Option<FuncId>) -> Function {
+        let mut b = FunctionBuilder::new(name, vec![], None);
+        if let Some(c) = callee {
+            b.call(c, vec![], None);
+        }
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn chain() {
+        let mut m = Module::new("t");
+        // Pre-assign ids: f0 calls f1, f1 calls f2, f2 leaf.
+        let f0 = m.add_function(call_only("a", Some(FuncId::new(1))));
+        let f1 = m.add_function(call_only("b", Some(FuncId::new(2))));
+        let f2 = m.add_function(call_only("c", None));
+        let cg = CallGraph::new(&m);
+        assert!(cg.callees(f0).contains(&f1));
+        assert!(cg.callers(f2).contains(&f1));
+        let reach = cg.reachable_from([f0]);
+        assert_eq!(reach.len(), 3);
+        assert!(!cg.is_recursive(f0));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let mut m = Module::new("t");
+        let f0 = m.add_function(call_only("a", Some(FuncId::new(1))));
+        let f1 = m.add_function(call_only("b", Some(FuncId::new(0))));
+        let cg = CallGraph::new(&m);
+        assert!(cg.is_recursive(f0));
+        assert!(cg.is_recursive(f1));
+    }
+
+    #[test]
+    fn leaf_reachability_is_self() {
+        let mut m = Module::new("t");
+        let f = m.add_function(call_only("leaf", None));
+        let cg = CallGraph::new(&m);
+        assert_eq!(cg.reachable_from([f]).len(), 1);
+    }
+}

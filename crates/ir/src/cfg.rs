@@ -1,0 +1,145 @@
+//! Control-flow graph queries: successors, predecessors, traversal orders.
+
+use crate::func::{BlockId, Function};
+
+/// Precomputed CFG adjacency for a function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Compute the CFG of `func`.
+    pub fn new(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for bb in func.block_ids() {
+            for s in func.block(bb).term.successors() {
+                succs[bb.index()].push(s);
+                preds[s.index()].push(bb);
+            }
+        }
+
+        // Reverse postorder via iterative DFS from the entry.
+        let mut rpo = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry(), 0)];
+        state[func.entry().index()] = 1;
+        while let Some(&(bb, next)) = stack.last() {
+            let s = &succs[bb.index()];
+            if next < s.len() {
+                let child = s[next];
+                stack.last_mut().expect("stack is non-empty").1 += 1;
+                if state[child.index()] == 0 {
+                    state[child.index()] = 1;
+                    stack.push((child, 0));
+                }
+            } else {
+                state[bb.index()] = 2;
+                rpo.push(bb);
+                stack.pop();
+            }
+        }
+        rpo.reverse();
+
+        let mut rpo_index = vec![None; n];
+        for (i, &bb) in rpo.iter().enumerate() {
+            rpo_index[bb.index()] = Some(i);
+        }
+
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Predecessors of `bb`.
+    pub fn preds(&self, bb: BlockId) -> &[BlockId] {
+        &self.preds[bb.index()]
+    }
+
+    /// Successors of `bb`.
+    pub fn succs(&self, bb: BlockId) -> &[BlockId] {
+        &self.succs[bb.index()]
+    }
+
+    /// Blocks in reverse postorder (entry first). Unreachable blocks are
+    /// omitted.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `bb` in the reverse postorder, or `None` if unreachable.
+    pub fn rpo_index(&self, bb: BlockId) -> Option<usize> {
+        self.rpo_index[bb.index()]
+    }
+
+    /// Whether `bb` is reachable from the entry.
+    pub fn is_reachable(&self, bb: BlockId) -> bool {
+        self.rpo_index(bb).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::value::Value;
+    use crate::CmpOp;
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d", vec![Type::I64], None);
+        let t = b.new_block();
+        let e = b.new_block();
+        let join = b.new_block();
+        let c = b.icmp(CmpOp::Lt, b.param(0), Value::const_i64(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(join);
+        b.switch_to(e);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_adjacency() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let entry = f.entry();
+        assert_eq!(cfg.succs(entry).len(), 2);
+        assert_eq!(cfg.preds(BlockId::new(3)).len(), 2);
+        assert_eq!(cfg.preds(entry).len(), 0);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_join_is_last() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo()[0], f.entry());
+        assert_eq!(*cfg.rpo().last().unwrap(), BlockId::new(3));
+        assert_eq!(cfg.rpo().len(), 4);
+    }
+
+    #[test]
+    fn unreachable_blocks_omitted() {
+        let mut b = FunctionBuilder::new("u", vec![], None);
+        let dead = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.is_reachable(f.entry()));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo().len(), 1);
+    }
+}

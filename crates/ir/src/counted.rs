@@ -1,0 +1,283 @@
+//! Matching of canonical counted loops (`for i in lo..hi`).
+//!
+//! DOALL parallelization distributes iterations of a counted loop across
+//! workers, so the transformation must first recognize the loop's induction
+//! variable, bounds and step. The accepted shape is the one the
+//! [`crate::builder`] produces for counted loops:
+//!
+//! ```text
+//! header:
+//!   iv = phi [preheader: lo], [latch: iv.next]
+//!   c  = icmp lt iv, hi          ; hi loop-invariant
+//!   condbr c, <into loop>, exit
+//! ...
+//! latch:
+//!   iv.next = add iv, step        ; step a positive constant
+//!   br header
+//! ```
+
+use crate::func::{BlockId, Function, InstId};
+use crate::inst::{BinOp, CmpOp, InstKind, Term};
+use crate::loops::{Loop, LoopId};
+use crate::value::Value;
+
+/// A matched counted loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountedLoop {
+    /// The loop this shape was matched on.
+    pub loop_id: LoopId,
+    /// The loop header.
+    pub header: BlockId,
+    /// The single latch block.
+    pub latch: BlockId,
+    /// The induction-variable phi (defined in the header).
+    pub iv: InstId,
+    /// Initial induction value (loop-invariant).
+    pub lo: Value,
+    /// Exclusive upper bound (loop-invariant).
+    pub hi: Value,
+    /// Constant positive step.
+    pub step: i64,
+    /// The block control enters when the loop continues.
+    pub into_loop: BlockId,
+    /// The block control leaves to when the loop finishes.
+    pub exit: BlockId,
+    /// The comparison instruction in the header.
+    pub cmp: InstId,
+}
+
+impl CountedLoop {
+    /// Trip count if both bounds are constants.
+    pub fn const_trip_count(&self) -> Option<i64> {
+        match (self.lo, self.hi) {
+            (Value::ConstInt(lo, _), Value::ConstInt(hi, _)) => {
+                Some(((hi - lo).max(0) + self.step - 1) / self.step)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn defined_outside(func: &Function, blocks: &std::collections::BTreeSet<BlockId>, v: Value) -> bool {
+    match v {
+        Value::Inst(i) => func
+            .block_of(i)
+            .is_none_or(|bb| !blocks.contains(&bb)),
+        _ => true,
+    }
+}
+
+/// Try to match `lp` as a canonical counted loop.
+///
+/// Returns `None` when the loop has multiple latches, a non-canonical
+/// induction pattern, a loop-variant bound, or a non-constant / non-positive
+/// step.
+pub fn match_counted_loop(func: &Function, loop_id: LoopId, lp: &Loop) -> Option<CountedLoop> {
+    if lp.latches.len() != 1 {
+        return None;
+    }
+    let latch = lp.latches[0];
+    let header = lp.header;
+
+    // Header terminator: condbr (icmp lt iv, hi), into_loop, exit.
+    let Term::CondBr(cond, then_bb, else_bb) = func.block(header).term else {
+        return None;
+    };
+    let cmp = cond.as_inst()?;
+    let InstKind::Icmp(pred, lhs, rhs) = func.inst(cmp).kind else {
+        return None;
+    };
+
+    // Normalize to `iv < hi` continuing into the loop.
+    let (iv_val, hi, into_loop, exit) = match pred {
+        CmpOp::Lt if lp.contains(then_bb) && !lp.contains(else_bb) => (lhs, rhs, then_bb, else_bb),
+        CmpOp::Ge if lp.contains(else_bb) && !lp.contains(then_bb) => (lhs, rhs, else_bb, then_bb),
+        _ => return None,
+    };
+    let iv = iv_val.as_inst()?;
+
+    // The IV must be a phi in the header with exactly the preheader and
+    // latch incoming edges.
+    if func.block_of(iv) != Some(header) {
+        return None;
+    }
+    let InstKind::Phi(_, ref incoming) = func.inst(iv).kind else {
+        return None;
+    };
+    if incoming.len() != 2 {
+        return None;
+    }
+    let (mut lo, mut next) = (None, None);
+    for &(pred_bb, v) in incoming {
+        if pred_bb == latch {
+            next = Some(v);
+        } else if !lp.contains(pred_bb) {
+            lo = Some(v);
+        }
+    }
+    let (lo, next) = (lo?, next?);
+
+    // iv.next = add iv, step.
+    let next_id = next.as_inst()?;
+    let InstKind::Bin(BinOp::Add, a, b) = func.inst(next_id).kind else {
+        return None;
+    };
+    let step = if a == Value::Inst(iv) {
+        b.as_int()?
+    } else if b == Value::Inst(iv) {
+        a.as_int()?
+    } else {
+        return None;
+    };
+    if step <= 0 {
+        return None;
+    }
+
+    // Bounds must be loop-invariant.
+    if !defined_outside(func, &lp.blocks, lo) || !defined_outside(func, &lp.blocks, hi) {
+        return None;
+    }
+
+    Some(CountedLoop {
+        loop_id,
+        header,
+        latch,
+        iv,
+        lo,
+        hi,
+        step,
+        into_loop,
+        exit,
+        cmp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::loops::LoopInfo;
+    use crate::types::Type;
+
+    fn simple_loop(step: i64) -> Function {
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], None);
+        let n = b.param(0);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Lt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.add(Type::I64, i, Value::const_i64(step));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn matches_canonical() {
+        let f = simple_loop(1);
+        let li = LoopInfo::compute(&f);
+        let (id, lp) = li.iter().next().unwrap();
+        let c = match_counted_loop(&f, id, lp).unwrap();
+        assert_eq!(c.lo, Value::const_i64(0));
+        assert_eq!(c.hi, Value::Param(0));
+        assert_eq!(c.step, 1);
+        assert_eq!(c.header, BlockId::new(1));
+        assert_eq!(c.latch, BlockId::new(2));
+        assert_eq!(c.exit, BlockId::new(3));
+    }
+
+    #[test]
+    fn rejects_nonpositive_step() {
+        let f = simple_loop(-1);
+        let li = LoopInfo::compute(&f);
+        let (id, lp) = li.iter().next().unwrap();
+        assert!(match_counted_loop(&f, id, lp).is_none());
+    }
+
+    #[test]
+    fn const_trip_count() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(2));
+        let c = b.icmp(CmpOp::Lt, i, Value::const_i64(11));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.add(Type::I64, i, Value::const_i64(3));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let li = LoopInfo::compute(&f);
+        let (id, lp) = li.iter().next().unwrap();
+        let cl = match_counted_loop(&f, id, lp).unwrap();
+        assert_eq!(cl.const_trip_count(), Some(3)); // i = 2, 5, 8
+    }
+
+    #[test]
+    fn ge_form_accepted() {
+        // condbr (icmp ge i, n), exit, body — the inverted encoding.
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], None);
+        let n = b.param(0);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Ge, i, n);
+        b.cond_br(c, exit, body);
+        b.switch_to(body);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let li = LoopInfo::compute(&f);
+        let (id, lp) = li.iter().next().unwrap();
+        let cl = match_counted_loop(&f, id, lp).unwrap();
+        assert_eq!(cl.into_loop, body);
+        assert_eq!(cl.exit, exit);
+    }
+
+    #[test]
+    fn rejects_loop_variant_bound() {
+        // hi is recomputed inside the loop.
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr], None);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let hi = b.load(Type::I64, b.param(0)); // defined in the loop
+        let c = b.icmp(CmpOp::Lt, i, hi);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, body, i2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let li = LoopInfo::compute(&f);
+        let (id, lp) = li.iter().next().unwrap();
+        assert!(match_counted_loop(&f, id, lp).is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! Dominator tree construction (Cooper–Harvey–Kennedy algorithm).
+
+use crate::cfg::Cfg;
+use crate::func::{BlockId, Function};
+
+/// The dominator tree of a function's CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each block (`idom[entry] == entry`);
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<Option<usize>>,
+}
+
+impl DomTree {
+    /// Compute dominators using the iterative algorithm of Cooper, Harvey
+    /// and Kennedy ("A Simple, Fast Dominance Algorithm").
+    pub fn new(func: &Function, cfg: &Cfg) -> DomTree {
+        let n = func.blocks.len();
+        let entry = func.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let rpo = cfg.rpo();
+        let rpo_index: Vec<Option<usize>> = (0..n)
+            .map(|i| cfg.rpo_index(BlockId::new(i)))
+            .collect();
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            let idx = |x: BlockId| rpo_index[x.index()].expect("reachable block");
+            while a != b {
+                while idx(a) > idx(b) {
+                    a = idom[a.index()].expect("processed block");
+                }
+                while idx(b) > idx(a) {
+                    b = idom[b.index()].expect("processed block");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(bb) {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[bb.index()] != Some(ni) {
+                        idom[bb.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        DomTree { idom, rpo_index }
+    }
+
+    /// Immediate dominator of `bb` (`None` for the entry and for unreachable
+    /// blocks).
+    pub fn idom(&self, bb: BlockId) -> Option<BlockId> {
+        match self.idom[bb.index()] {
+            Some(d) if d != bb => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    ///
+    /// Unreachable blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_index[a.index()].is_none() || self.rpo_index[b.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::value::Value;
+    use crate::CmpOp;
+
+    /// entry -> {t, e} -> join -> exit; plus a loop join -> t.
+    fn build() -> (Function, Cfg, DomTree) {
+        let mut b = FunctionBuilder::new("f", vec![Type::I64], None);
+        let t = b.new_block();
+        let e = b.new_block();
+        let join = b.new_block();
+        let exit = b.new_block();
+        let c = b.icmp(CmpOp::Lt, b.param(0), Value::const_i64(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(join);
+        b.switch_to(e);
+        b.br(join);
+        b.switch_to(join);
+        let c2 = b.icmp(CmpOp::Gt, b.param(0), Value::const_i64(10));
+        b.cond_br(c2, t, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        (f, cfg, dt)
+    }
+
+    #[test]
+    fn entry_dominates_all() {
+        let (f, cfg, dt) = build();
+        for bb in f.block_ids() {
+            if cfg.is_reachable(bb) {
+                assert!(dt.dominates(f.entry(), bb));
+            }
+        }
+    }
+
+    #[test]
+    fn join_idom_is_entry() {
+        // join has preds t and e, whose common dominator is the entry.
+        let (f, _, dt) = build();
+        assert_eq!(dt.idom(BlockId::new(3)), Some(f.entry()));
+        assert_eq!(dt.idom(f.entry()), None);
+    }
+
+    #[test]
+    fn branch_sides_do_not_dominate_each_other() {
+        let (_, _, dt) = build();
+        assert!(!dt.dominates(BlockId::new(1), BlockId::new(2)));
+        assert!(!dt.dominates(BlockId::new(2), BlockId::new(1)));
+        // join dominates exit.
+        assert!(dt.dominates(BlockId::new(3), BlockId::new(4)));
+        // t does not dominate join (e also reaches it).
+        assert!(!dt.dominates(BlockId::new(1), BlockId::new(3)));
+    }
+
+    #[test]
+    fn reflexive() {
+        let (f, _, dt) = build();
+        assert!(dt.dominates(f.entry(), f.entry()));
+    }
+}

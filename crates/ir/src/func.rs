@@ -1,0 +1,222 @@
+//! Functions, basic blocks and their identifiers.
+
+use crate::inst::{Inst, Term};
+use crate::types::Type;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Create an id from a raw index.
+            pub fn new(index: usize) -> $name {
+                $name(u32::try_from(index).expect("id index overflows u32"))
+            }
+
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a function within a [`crate::Module`].
+    FuncId,
+    "fn"
+);
+id_type!(
+    /// Identifies a basic block within a [`Function`].
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// Identifies an instruction within a [`Function`]'s arena.
+    ///
+    /// Instruction *order* is given by block instruction lists, not by id;
+    /// passes append new instructions to the arena and splice their ids into
+    /// block lists.
+    InstId,
+    "%"
+);
+
+/// A basic block: an ordered list of instruction ids plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Instructions in execution order (ids into the function's arena).
+    pub insts: Vec<InstId>,
+    /// The block terminator.
+    pub term: Term,
+}
+
+impl Block {
+    /// An empty block ending in `unreachable` (a placeholder terminator that
+    /// builders overwrite).
+    pub fn new() -> Block {
+        Block {
+            insts: Vec::new(),
+            term: Term::Unreachable,
+        }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::new()
+    }
+}
+
+/// A function: parameters, a return type, and a CFG of basic blocks over an
+/// instruction arena.
+///
+/// Block 0 is the entry block. Instructions live in [`Function::insts`] and
+/// are referenced by id from block lists; an instruction id appears in at
+/// most one block list (the [`crate::verify`] pass enforces this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (unique within a module).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Return type, or `None` for `void`.
+    pub ret: Option<Type>,
+    /// Basic blocks; `BlockId` indexes this vector. Block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Instruction arena; `InstId` indexes this vector.
+    pub insts: Vec<Inst>,
+}
+
+impl Function {
+    /// Create an empty function with a single (empty) entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret: Option<Type>) -> Function {
+        Function {
+            name: name.into(),
+            params,
+            ret,
+            blocks: vec![Block::new()],
+            insts: Vec::new(),
+        }
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId::new(0)
+    }
+
+    /// Borrow an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this function's arena.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// Mutably borrow an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this function's arena.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
+    /// Borrow a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutably borrow a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Append a new empty block and return its id.
+    pub fn add_block(&mut self) -> BlockId {
+        self.blocks.push(Block::new());
+        BlockId::new(self.blocks.len() - 1)
+    }
+
+    /// Append an instruction to the arena (not yet placed in any block).
+    pub fn add_inst(&mut self, inst: Inst) -> InstId {
+        self.insts.push(inst);
+        InstId::new(self.insts.len() - 1)
+    }
+
+    /// Iterate over all block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len()).map(BlockId::new)
+    }
+
+    /// Iterate over `(block, inst)` pairs in layout order.
+    pub fn inst_ids_in_order(&self) -> impl Iterator<Item = (BlockId, InstId)> + '_ {
+        self.block_ids().flat_map(move |bb| {
+            self.block(bb).insts.iter().map(move |&i| (bb, i))
+        })
+    }
+
+    /// The block containing instruction `id`, if it is placed in a block.
+    pub fn block_of(&self, id: InstId) -> Option<BlockId> {
+        self.block_ids()
+            .find(|&bb| self.block(bb).insts.contains(&id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, InstKind};
+    use crate::value::Value;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(FuncId::new(3).to_string(), "fn3");
+        assert_eq!(BlockId::new(0).to_string(), "bb0");
+        assert_eq!(InstId::new(7).to_string(), "%7");
+        assert_eq!(FuncId::new(9).index(), 9);
+    }
+
+    #[test]
+    fn function_layout() {
+        let mut f = Function::new("f", vec![Type::I64], None);
+        assert_eq!(f.entry(), BlockId::new(0));
+        let b1 = f.add_block();
+        assert_eq!(b1, BlockId::new(1));
+        let i = f.add_inst(Inst {
+            kind: InstKind::Malloc(Value::const_i64(8)),
+            ty: Some(Type::Ptr),
+        });
+        f.block_mut(b1).insts.push(i);
+        assert_eq!(f.block_of(i), Some(b1));
+        let placed: Vec<_> = f.inst_ids_in_order().collect();
+        assert_eq!(placed, vec![(b1, i)]);
+    }
+
+    #[test]
+    fn unplaced_inst_has_no_block() {
+        let mut f = Function::new("f", vec![], None);
+        let i = f.add_inst(Inst {
+            kind: InstKind::Malloc(Value::const_i64(1)),
+            ty: Some(Type::Ptr),
+        });
+        assert_eq!(f.block_of(i), None);
+    }
+}

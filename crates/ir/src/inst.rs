@@ -1,0 +1,861 @@
+//! Instructions, operators, intrinsics and block terminators.
+
+use crate::func::{BlockId, FuncId};
+use crate::types::Type;
+use crate::value::Value;
+use std::fmt;
+
+pub use crate::func::InstId;
+
+/// Bit position of the 3-bit logical-heap tag inside a simulated virtual
+/// address (the paper hides the tag in bits 44–46 of the address).
+pub const HEAP_TAG_SHIFT: u32 = 44;
+
+/// Mask selecting the 3-bit heap tag after shifting by [`HEAP_TAG_SHIFT`].
+pub const HEAP_TAG_MASK: u64 = 0b111;
+
+/// Tag of the shadow (metadata) heap. It differs from the private heap's tag
+/// by exactly one bit so the metadata address for a private byte is computed
+/// with a single bit-wise OR (`addr | SHADOW_BIT`).
+pub const SHADOW_TAG: u64 = 0b011;
+
+/// The address bit that turns a private-heap address into the corresponding
+/// shadow-heap address.
+pub const SHADOW_BIT: u64 = 1 << HEAP_TAG_SHIFT;
+
+/// A logical heap with restricted access semantics (§4.2 of the paper).
+///
+/// Every memory object a selected loop touches is speculatively assigned to
+/// one of these heaps; objects are allocated within the heap's fixed address
+/// range so that separation can be validated by inspecting pointer bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Heap {
+    /// Objects only read inside the loop.
+    ReadOnly,
+    /// Objects written, but never carrying a cross-iteration flow dependence
+    /// (the privatization criterion). Replicated per worker.
+    Private,
+    /// Objects updated only by a single associative, commutative operator
+    /// (the reduction criterion). Expanded per worker and merged.
+    Redux,
+    /// Objects allocated and freed within a single iteration.
+    ShortLived,
+    /// Objects with real cross-iteration dependences; not privatizable.
+    Unrestricted,
+}
+
+impl Heap {
+    /// All heaps, in classification order.
+    pub const ALL: [Heap; 5] = [
+        Heap::ReadOnly,
+        Heap::Private,
+        Heap::Redux,
+        Heap::ShortLived,
+        Heap::Unrestricted,
+    ];
+
+    /// The 3-bit address tag of this heap.
+    ///
+    /// The private heap's tag (`0b010`) and the shadow heap's tag
+    /// ([`SHADOW_TAG`] = `0b011`) differ by one bit.
+    ///
+    /// ```
+    /// use privateer_ir::inst::{Heap, SHADOW_TAG};
+    /// assert_eq!(Heap::Private.tag() | 1, SHADOW_TAG);
+    /// ```
+    pub fn tag(self) -> u64 {
+        match self {
+            Heap::ReadOnly => 0b001,
+            Heap::Private => 0b010,
+            // 0b011 is the shadow heap, runtime-internal.
+            Heap::Redux => 0b100,
+            Heap::ShortLived => 0b101,
+            Heap::Unrestricted => 0b110,
+        }
+    }
+
+    /// Base simulated virtual address of this heap's 16 TB range.
+    pub fn base(self) -> u64 {
+        self.tag() << HEAP_TAG_SHIFT
+    }
+
+    /// The heap whose range contains `addr`, if any.
+    ///
+    /// ```
+    /// use privateer_ir::Heap;
+    /// let p = Heap::Private.base() + 0x40;
+    /// assert_eq!(Heap::of_addr(p), Some(Heap::Private));
+    /// assert_eq!(Heap::of_addr(0x1000), None);
+    /// ```
+    pub fn of_addr(addr: u64) -> Option<Heap> {
+        match (addr >> HEAP_TAG_SHIFT) & HEAP_TAG_MASK {
+            0b001 => Some(Heap::ReadOnly),
+            0b010 => Some(Heap::Private),
+            0b100 => Some(Heap::Redux),
+            0b101 => Some(Heap::ShortLived),
+            0b110 => Some(Heap::Unrestricted),
+            _ => None,
+        }
+    }
+
+    /// Whether `addr` carries this heap's tag.
+    pub fn contains(self, addr: u64) -> bool {
+        (addr >> HEAP_TAG_SHIFT) & HEAP_TAG_MASK == self.tag()
+    }
+
+    /// Short lower-case name used by the printer and parser.
+    pub fn name(self) -> &'static str {
+        match self {
+            Heap::ReadOnly => "ro",
+            Heap::Private => "priv",
+            Heap::Redux => "redux",
+            Heap::ShortLived => "short",
+            Heap::Unrestricted => "unres",
+        }
+    }
+
+    /// Parse a heap from its short [`name`](Heap::name).
+    pub fn from_name(s: &str) -> Option<Heap> {
+        Heap::ALL.into_iter().find(|h| h.name() == s)
+    }
+}
+
+impl fmt::Display for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A binary arithmetic or bitwise operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are the standard two's-complement / IEEE operators
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    SRem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+    AShr,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+}
+
+impl BinOp {
+    /// Whether the operator works on floats (the `F*` family).
+    pub fn is_float(self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv)
+    }
+
+    /// Whether the operator is associative and commutative, and therefore a
+    /// candidate reduction operator (§3, Reduction Criterion).
+    ///
+    /// Floating-point addition and multiplication are only approximately
+    /// associative; the paper (following LRPD) treats them as reduction
+    /// operators anyway, and so do we.
+    pub fn is_reduction_candidate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::FAdd | BinOp::FMul
+        )
+    }
+
+    /// Textual mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::SRem => "srem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+        }
+    }
+
+    /// Parse a mnemonic back into an operator.
+    pub fn from_mnemonic(s: &str) -> Option<BinOp> {
+        use BinOp::*;
+        let all = [
+            Add, Sub, Mul, SDiv, SRem, And, Or, Xor, Shl, LShr, AShr, FAdd, FSub, FMul, FDiv,
+        ];
+        all.into_iter().find(|op| op.mnemonic() == s)
+    }
+}
+
+/// A comparison predicate (used by both integer and float compares; integer
+/// comparisons are signed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are the standard signed/ordered predicates
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Textual mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+
+    /// Parse a mnemonic back into a predicate.
+    pub fn from_mnemonic(s: &str) -> Option<CmpOp> {
+        use CmpOp::*;
+        [Eq, Ne, Lt, Le, Gt, Ge].into_iter().find(|op| op.mnemonic() == s)
+    }
+
+    /// Evaluate the predicate over a three-way ordering.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// A value-conversion operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastOp {
+    /// Zero-extend a narrower integer to a wider one.
+    Zext,
+    /// Sign-extend a narrower integer to a wider one.
+    Sext,
+    /// Truncate a wider integer to a narrower one.
+    Trunc,
+    /// Signed integer to float.
+    SiToFp,
+    /// Float to signed integer (toward zero).
+    FpToSi,
+    /// Reinterpret a pointer as `i64`.
+    PtrToInt,
+    /// Reinterpret an `i64` as a pointer.
+    IntToPtr,
+    /// Reinterpret bits between `i64` and `f64`.
+    Bitcast,
+}
+
+impl CastOp {
+    /// Textual mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CastOp::Zext => "zext",
+            CastOp::Sext => "sext",
+            CastOp::Trunc => "trunc",
+            CastOp::SiToFp => "sitofp",
+            CastOp::FpToSi => "fptosi",
+            CastOp::PtrToInt => "ptrtoint",
+            CastOp::IntToPtr => "inttoptr",
+            CastOp::Bitcast => "bitcast",
+        }
+    }
+
+    /// Parse a mnemonic back into an operator.
+    pub fn from_mnemonic(s: &str) -> Option<CastOp> {
+        use CastOp::*;
+        [Zext, Sext, Trunc, SiToFp, FpToSi, PtrToInt, IntToPtr, Bitcast]
+            .into_iter()
+            .find(|op| op.mnemonic() == s)
+    }
+}
+
+/// An associative, commutative reduction operator over 8-byte elements
+/// (the Reduction Criterion, §3).
+///
+/// Floating-point sum/min/max are treated as reductions, as in LRPD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReduxOp {
+    /// `i64` addition (identity 0).
+    SumI64,
+    /// `f64` addition (identity 0.0).
+    SumF64,
+    /// `i64` minimum (identity `i64::MAX`).
+    MinI64,
+    /// `i64` maximum (identity `i64::MIN`).
+    MaxI64,
+    /// `f64` minimum (identity `+inf`).
+    MinF64,
+    /// `f64` maximum (identity `-inf`).
+    MaxF64,
+}
+
+impl ReduxOp {
+    /// All operators.
+    pub const ALL: [ReduxOp; 6] = [
+        ReduxOp::SumI64,
+        ReduxOp::SumF64,
+        ReduxOp::MinI64,
+        ReduxOp::MaxI64,
+        ReduxOp::MinF64,
+        ReduxOp::MaxF64,
+    ];
+
+    /// The identity element, as its little-endian byte image.
+    pub fn identity_bytes(self) -> [u8; 8] {
+        match self {
+            ReduxOp::SumI64 => 0i64.to_le_bytes(),
+            ReduxOp::SumF64 => 0f64.to_le_bytes(),
+            ReduxOp::MinI64 => i64::MAX.to_le_bytes(),
+            ReduxOp::MaxI64 => i64::MIN.to_le_bytes(),
+            ReduxOp::MinF64 => f64::INFINITY.to_le_bytes(),
+            ReduxOp::MaxF64 => f64::NEG_INFINITY.to_le_bytes(),
+        }
+    }
+
+    /// Combine two 8-byte element images.
+    pub fn combine(self, a: [u8; 8], b: [u8; 8]) -> [u8; 8] {
+        match self {
+            ReduxOp::SumI64 => i64::from_le_bytes(a)
+                .wrapping_add(i64::from_le_bytes(b))
+                .to_le_bytes(),
+            ReduxOp::SumF64 => (f64::from_le_bytes(a) + f64::from_le_bytes(b)).to_le_bytes(),
+            ReduxOp::MinI64 => i64::from_le_bytes(a).min(i64::from_le_bytes(b)).to_le_bytes(),
+            ReduxOp::MaxI64 => i64::from_le_bytes(a).max(i64::from_le_bytes(b)).to_le_bytes(),
+            ReduxOp::MinF64 => f64::from_le_bytes(a).min(f64::from_le_bytes(b)).to_le_bytes(),
+            ReduxOp::MaxF64 => f64::from_le_bytes(a).max(f64::from_le_bytes(b)).to_le_bytes(),
+        }
+    }
+
+    /// Short name used by the printer and parser.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduxOp::SumI64 => "sum_i64",
+            ReduxOp::SumF64 => "sum_f64",
+            ReduxOp::MinI64 => "min_i64",
+            ReduxOp::MaxI64 => "max_i64",
+            ReduxOp::MinF64 => "min_f64",
+            ReduxOp::MaxF64 => "max_f64",
+        }
+    }
+
+    /// Parse a short name.
+    pub fn from_name(s: &str) -> Option<ReduxOp> {
+        ReduxOp::ALL.into_iter().find(|op| op.name() == s)
+    }
+}
+
+impl fmt::Display for ReduxOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Built-in operations with runtime support.
+///
+/// The checking intrinsics (`CheckHeap`, `PrivateRead`, `PrivateWrite`,
+/// `Predict`, `Misspec`) are inserted by the Privateer transformation
+/// (§4.5–4.6) and validated by the runtime system (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `print_i64(v)` — write a decimal integer to program output.
+    PrintI64,
+    /// `print_f64(v)` — write a float to program output.
+    PrintF64,
+    /// `print_str(ptr, len)` — write `len` bytes from memory to output.
+    PrintStr,
+    /// `print_char(v)` — write a single byte to output.
+    PrintChar,
+    /// `h_alloc(size) -> ptr` — allocate from the given logical heap (§4.4).
+    HAlloc(Heap),
+    /// `h_dealloc(ptr)` — free into the given logical heap (§4.4).
+    HFree(Heap),
+    /// `check_heap(ptr)` — separation check: misspeculate unless `ptr`
+    /// carries the heap's tag (§4.5). Null pointers pass (they name no
+    /// object, so separation is vacuous).
+    CheckHeap(Heap),
+    /// `private_read(ptr, size)` — privacy check before a load (§4.6).
+    PrivateRead,
+    /// `private_write(ptr, size)` — privacy check before a store (§4.6).
+    PrivateWrite,
+    /// `predict(cond)` — value-prediction check: misspeculate if `cond` is
+    /// false (§6.1, e.g. "the work list is empty on loop entry").
+    Predict,
+    /// `misspec()` — unconditionally report misspeculation.
+    Misspec,
+    /// `redux_register(ptr, size)` — declare `[ptr, ptr+size)` a reduction
+    /// object updated only by the given operator; the runtime initializes
+    /// worker copies to the identity and merges at checkpoints (§3.2).
+    ReduxRegister(ReduxOp),
+    /// `parallel_invoke(lo, hi)` — execute plan *n* (see
+    /// [`crate::module::Module::plans`]): run the outlined loop body for
+    /// iterations `lo..hi` under the speculative DOALL engine (§5).
+    ParallelInvoke(u32),
+    /// `sqrt(f64) -> f64`.
+    Sqrt,
+    /// `exp(f64) -> f64`.
+    Exp,
+    /// `log(f64) -> f64`.
+    Log,
+    /// `fabs(f64) -> f64`.
+    FAbs,
+}
+
+impl Intrinsic {
+    /// Number of arguments the intrinsic takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::PrintI64
+            | Intrinsic::PrintF64
+            | Intrinsic::PrintChar
+            | Intrinsic::HAlloc(_)
+            | Intrinsic::HFree(_)
+            | Intrinsic::CheckHeap(_)
+            | Intrinsic::Predict
+            | Intrinsic::Sqrt
+            | Intrinsic::Exp
+            | Intrinsic::Log
+            | Intrinsic::FAbs => 1,
+            Intrinsic::PrintStr
+            | Intrinsic::PrivateRead
+            | Intrinsic::PrivateWrite
+            | Intrinsic::ReduxRegister(_)
+            | Intrinsic::ParallelInvoke(_) => 2,
+            Intrinsic::Misspec => 0,
+        }
+    }
+
+    /// The intrinsic's result type, if it produces a value.
+    pub fn result_type(self) -> Option<Type> {
+        match self {
+            Intrinsic::HAlloc(_) => Some(Type::Ptr),
+            Intrinsic::Sqrt | Intrinsic::Exp | Intrinsic::Log | Intrinsic::FAbs => Some(Type::F64),
+            _ => None,
+        }
+    }
+
+    /// Textual name (heap-parameterized intrinsics encode the heap).
+    pub fn name(self) -> String {
+        match self {
+            Intrinsic::PrintI64 => "print_i64".into(),
+            Intrinsic::PrintF64 => "print_f64".into(),
+            Intrinsic::PrintStr => "print_str".into(),
+            Intrinsic::PrintChar => "print_char".into(),
+            Intrinsic::HAlloc(h) => format!("h_alloc.{h}"),
+            Intrinsic::HFree(h) => format!("h_dealloc.{h}"),
+            Intrinsic::CheckHeap(h) => format!("check_heap.{h}"),
+            Intrinsic::PrivateRead => "private_read".into(),
+            Intrinsic::PrivateWrite => "private_write".into(),
+            Intrinsic::Predict => "predict".into(),
+            Intrinsic::Misspec => "misspec".into(),
+            Intrinsic::ReduxRegister(op) => format!("redux_register.{op}"),
+            Intrinsic::ParallelInvoke(n) => format!("parallel_invoke.{n}"),
+            Intrinsic::Sqrt => "sqrt".into(),
+            Intrinsic::Exp => "exp".into(),
+            Intrinsic::Log => "log".into(),
+            Intrinsic::FAbs => "fabs".into(),
+        }
+    }
+
+    /// Parse an intrinsic from its [`name`](Intrinsic::name).
+    pub fn from_name(s: &str) -> Option<Intrinsic> {
+        if let Some((head, tail)) = s.split_once('.') {
+            return match head {
+                "h_alloc" => Some(Intrinsic::HAlloc(Heap::from_name(tail)?)),
+                "h_dealloc" => Some(Intrinsic::HFree(Heap::from_name(tail)?)),
+                "check_heap" => Some(Intrinsic::CheckHeap(Heap::from_name(tail)?)),
+                "redux_register" => Some(Intrinsic::ReduxRegister(ReduxOp::from_name(tail)?)),
+                "parallel_invoke" => Some(Intrinsic::ParallelInvoke(tail.parse().ok()?)),
+                _ => None,
+            };
+        }
+        match s {
+            "print_i64" => Some(Intrinsic::PrintI64),
+            "print_f64" => Some(Intrinsic::PrintF64),
+            "print_str" => Some(Intrinsic::PrintStr),
+            "print_char" => Some(Intrinsic::PrintChar),
+            "private_read" => Some(Intrinsic::PrivateRead),
+            "private_write" => Some(Intrinsic::PrivateWrite),
+            "predict" => Some(Intrinsic::Predict),
+            "misspec" => Some(Intrinsic::Misspec),
+            "sqrt" => Some(Intrinsic::Sqrt),
+            "exp" => Some(Intrinsic::Exp),
+            "log" => Some(Intrinsic::Log),
+            "fabs" => Some(Intrinsic::FAbs),
+            _ => None,
+        }
+    }
+}
+
+/// The operation performed by an instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstKind {
+    /// Binary arithmetic: `bin op, a, b`.
+    Bin(BinOp, Value, Value),
+    /// Integer/pointer comparison producing `i1`.
+    Icmp(CmpOp, Value, Value),
+    /// Float comparison producing `i1` (ordered; any NaN operand yields
+    /// `false` except for `Ne`, which yields `true`).
+    Fcmp(CmpOp, Value, Value),
+    /// Type conversion.
+    Cast(CastOp, Value, Type),
+    /// `load ty, ptr`.
+    Load(Type, Value),
+    /// `store ty val, ptr`.
+    Store(Type, Value, Value),
+    /// A named stack slot of fixed byte size, live for the enclosing call.
+    Alloca {
+        /// Slot size in bytes.
+        size: u64,
+        /// Source-level name (for profiling and diagnostics).
+        name: String,
+    },
+    /// `malloc(size) -> ptr` from the general (untagged) heap.
+    Malloc(Value),
+    /// `free(ptr)` into the general heap.
+    Free(Value),
+    /// Address arithmetic: `base + index * scale + disp`.
+    Gep {
+        /// The base pointer.
+        base: Value,
+        /// The (i64) element index.
+        index: Value,
+        /// Bytes per element.
+        scale: u64,
+        /// Constant byte displacement (field offset).
+        disp: i64,
+    },
+    /// Direct call.
+    Call(FuncId, Vec<Value>),
+    /// Call to a built-in with runtime support.
+    CallIntrinsic(Intrinsic, Vec<Value>),
+    /// SSA phi node; one incoming value per predecessor block.
+    Phi(Type, Vec<(BlockId, Value)>),
+    /// `select cond, then, else`.
+    Select(Type, Value, Value, Value),
+}
+
+/// An instruction: an [`InstKind`] plus its result type (if it produces one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// The operation.
+    pub kind: InstKind,
+    /// Result type; `None` for instructions used only for effect.
+    pub ty: Option<Type>,
+}
+
+impl Inst {
+    /// Visit every operand [`Value`].
+    pub fn for_each_operand(&self, mut f: impl FnMut(Value)) {
+        match &self.kind {
+            InstKind::Bin(_, a, b) | InstKind::Icmp(_, a, b) | InstKind::Fcmp(_, a, b) => {
+                f(*a);
+                f(*b);
+            }
+            InstKind::Cast(_, v, _) | InstKind::Load(_, v) | InstKind::Free(v) | InstKind::Malloc(v) => {
+                f(*v)
+            }
+            InstKind::Store(_, v, p) => {
+                f(*v);
+                f(*p);
+            }
+            InstKind::Alloca { .. } => {}
+            InstKind::Gep { base, index, .. } => {
+                f(*base);
+                f(*index);
+            }
+            InstKind::Call(_, args) | InstKind::CallIntrinsic(_, args) => {
+                for a in args {
+                    f(*a);
+                }
+            }
+            InstKind::Phi(_, incoming) => {
+                for (_, v) in incoming {
+                    f(*v);
+                }
+            }
+            InstKind::Select(_, c, t, e) => {
+                f(*c);
+                f(*t);
+                f(*e);
+            }
+        }
+    }
+
+    /// Rewrite every operand in place.
+    pub fn map_operands(&mut self, mut f: impl FnMut(Value) -> Value) {
+        match &mut self.kind {
+            InstKind::Bin(_, a, b) | InstKind::Icmp(_, a, b) | InstKind::Fcmp(_, a, b) => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            InstKind::Cast(_, v, _) | InstKind::Load(_, v) | InstKind::Free(v) | InstKind::Malloc(v) => {
+                *v = f(*v)
+            }
+            InstKind::Store(_, v, p) => {
+                *v = f(*v);
+                *p = f(*p);
+            }
+            InstKind::Alloca { .. } => {}
+            InstKind::Gep { base, index, .. } => {
+                *base = f(*base);
+                *index = f(*index);
+            }
+            InstKind::Call(_, args) | InstKind::CallIntrinsic(_, args) => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            InstKind::Phi(_, incoming) => {
+                for (_, v) in incoming {
+                    *v = f(*v);
+                }
+            }
+            InstKind::Select(_, c, t, e) => {
+                *c = f(*c);
+                *t = f(*t);
+                *e = f(*e);
+            }
+        }
+    }
+
+    /// Whether this instruction reads or writes memory (including calls,
+    /// which may do so transitively).
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::Load(..)
+                | InstKind::Store(..)
+                | InstKind::Malloc(..)
+                | InstKind::Free(..)
+                | InstKind::Call(..)
+                | InstKind::CallIntrinsic(..)
+        )
+    }
+
+    /// Whether this is an allocation site (alloca, malloc or `h_alloc`).
+    pub fn is_allocation(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::Alloca { .. } | InstKind::Malloc(..) | InstKind::CallIntrinsic(Intrinsic::HAlloc(_), _)
+        )
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// Return from the function, optionally with a value.
+    Ret(Option<Value>),
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Conditional branch on an `i1` value.
+    CondBr(Value, BlockId, BlockId),
+    /// Control never reaches here.
+    Unreachable,
+}
+
+impl Term {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let slice: smallvec::SmallVecIter = match self {
+            Term::Br(b) => smallvec::SmallVecIter::One(*b),
+            Term::CondBr(_, t, e) => smallvec::SmallVecIter::Two(*t, *e),
+            Term::Ret(_) | Term::Unreachable => smallvec::SmallVecIter::Zero,
+        };
+        slice
+    }
+
+    /// Visit every operand [`Value`].
+    pub fn for_each_operand(&self, mut f: impl FnMut(Value)) {
+        match self {
+            Term::Ret(Some(v)) => f(*v),
+            Term::CondBr(c, _, _) => f(*c),
+            _ => {}
+        }
+    }
+
+    /// Rewrite every operand in place.
+    pub fn map_operands(&mut self, mut f: impl FnMut(Value) -> Value) {
+        match self {
+            Term::Ret(Some(v)) => *v = f(*v),
+            Term::CondBr(c, _, _) => *c = f(*c),
+            _ => {}
+        }
+    }
+
+    /// Rewrite successor block ids in place.
+    pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Term::Br(b) => *b = f(*b),
+            Term::CondBr(_, t, e) => {
+                *t = f(*t);
+                *e = f(*e);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A tiny inline iterator over at most two successors, avoiding allocation.
+mod smallvec {
+    use crate::func::BlockId;
+
+    pub enum SmallVecIter {
+        Zero,
+        One(BlockId),
+        Two(BlockId, BlockId),
+    }
+
+    impl Iterator for SmallVecIter {
+        type Item = BlockId;
+
+        fn next(&mut self) -> Option<BlockId> {
+            match *self {
+                SmallVecIter::Zero => None,
+                SmallVecIter::One(a) => {
+                    *self = SmallVecIter::Zero;
+                    Some(a)
+                }
+                SmallVecIter::Two(a, b) => {
+                    *self = SmallVecIter::One(b);
+                    Some(a)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_tags_are_distinct_and_exclude_shadow() {
+        let mut tags: Vec<u64> = Heap::ALL.iter().map(|h| h.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), Heap::ALL.len());
+        assert!(!tags.contains(&SHADOW_TAG));
+    }
+
+    #[test]
+    fn shadow_is_one_bit_from_private() {
+        assert_eq!(Heap::Private.tag() ^ SHADOW_TAG, 1);
+        let private_addr = Heap::Private.base() + 0x1234;
+        let shadow_addr = private_addr | SHADOW_BIT;
+        assert_eq!((shadow_addr >> HEAP_TAG_SHIFT) & HEAP_TAG_MASK, SHADOW_TAG);
+        // The offset within the heap is preserved.
+        assert_eq!(shadow_addr & !(HEAP_TAG_MASK << HEAP_TAG_SHIFT), 0x1234);
+    }
+
+    #[test]
+    fn heap_of_addr_round_trip() {
+        for h in Heap::ALL {
+            assert_eq!(Heap::of_addr(h.base() + 42), Some(h));
+            assert!(h.contains(h.base()));
+        }
+        assert_eq!(Heap::of_addr(0), None);
+    }
+
+    #[test]
+    fn heap_name_round_trip() {
+        for h in Heap::ALL {
+            assert_eq!(Heap::from_name(h.name()), Some(h));
+        }
+        assert_eq!(Heap::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn binop_mnemonic_round_trip() {
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::SDiv,
+            BinOp::SRem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::LShr,
+            BinOp::AShr,
+            BinOp::FAdd,
+            BinOp::FSub,
+            BinOp::FMul,
+            BinOp::FDiv,
+        ] {
+            assert_eq!(BinOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn reduction_candidates() {
+        assert!(BinOp::Add.is_reduction_candidate());
+        assert!(BinOp::FAdd.is_reduction_candidate());
+        assert!(BinOp::FMul.is_reduction_candidate());
+        assert!(!BinOp::Sub.is_reduction_candidate());
+        assert!(!BinOp::SDiv.is_reduction_candidate());
+    }
+
+    #[test]
+    fn cmp_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Lt.eval(Less));
+        assert!(!CmpOp::Lt.eval(Equal));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Ge.eval(Greater));
+        assert!(CmpOp::Ne.eval(Less));
+        assert!(!CmpOp::Eq.eval(Greater));
+    }
+
+    #[test]
+    fn intrinsic_name_round_trip() {
+        let all = [
+            Intrinsic::PrintI64,
+            Intrinsic::PrintF64,
+            Intrinsic::PrintStr,
+            Intrinsic::PrintChar,
+            Intrinsic::HAlloc(Heap::ShortLived),
+            Intrinsic::HFree(Heap::Private),
+            Intrinsic::CheckHeap(Heap::ReadOnly),
+            Intrinsic::PrivateRead,
+            Intrinsic::PrivateWrite,
+            Intrinsic::Predict,
+            Intrinsic::Misspec,
+            Intrinsic::Sqrt,
+            Intrinsic::Exp,
+            Intrinsic::Log,
+            Intrinsic::FAbs,
+        ];
+        for i in all {
+            assert_eq!(Intrinsic::from_name(&i.name()), Some(i), "{}", i.name());
+        }
+    }
+
+    #[test]
+    fn term_successors() {
+        let t = Term::CondBr(Value::const_bool(true), BlockId::new(1), BlockId::new(2));
+        let succ: Vec<_> = t.successors().collect();
+        assert_eq!(succ, vec![BlockId::new(1), BlockId::new(2)]);
+        assert_eq!(Term::Ret(None).successors().count(), 0);
+    }
+}

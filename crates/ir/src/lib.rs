@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+//! # privateer-ir
+//!
+//! A small SSA-style intermediate representation used by the Privateer
+//! reproduction (PLDI 2012, "Speculative Separation for Privatization and
+//! Reductions").
+//!
+//! The paper's artifact is a set of LLVM passes; this crate provides the
+//! subset of compiler infrastructure those passes actually consume:
+//!
+//! * a typed, SSA-based IR with loads/stores, pointer arithmetic, dynamic
+//!   allocation, calls and control flow ([`Module`], [`Function`], [`Inst`]);
+//! * a [`builder::FunctionBuilder`] for constructing IR programmatically;
+//! * a textual [`printer`] and round-tripping [`parser`];
+//! * a structural and SSA [`verify`]-er;
+//! * control-flow analyses: [`cfg`](mod@cfg), [`dom`]inators, natural [`loops`],
+//!   a [`callgraph`];
+//! * static memory analyses used by the non-speculative baseline:
+//!   [`analysis::pointsto`] and [`analysis::affine`] subscripts;
+//! * [`counted`] loop matching used by the DOALL transformation.
+//!
+//! # Example
+//!
+//! ```
+//! use privateer_ir::{builder::FunctionBuilder, Module, Type, Value};
+//!
+//! let mut module = Module::new("demo");
+//! let mut b = FunctionBuilder::new("add1", vec![Type::I64], Some(Type::I64));
+//! let p = b.param(0);
+//! let one = Value::const_i64(1);
+//! let sum = b.add(Type::I64, p, one);
+//! b.ret(Some(sum));
+//! let func = b.finish();
+//! module.add_function(func);
+//! privateer_ir::verify::verify_module(&module).unwrap();
+//! ```
+
+pub mod analysis;
+pub mod builder;
+pub mod callgraph;
+pub mod cfg;
+pub mod counted;
+pub mod dom;
+pub mod func;
+pub mod inst;
+pub mod loops;
+pub mod module;
+pub mod parser;
+pub mod printer;
+pub mod types;
+pub mod value;
+pub mod verify;
+
+pub use func::{Block, BlockId, Function, FuncId};
+pub use inst::{BinOp, CastOp, CmpOp, Heap, Inst, InstId, InstKind, Intrinsic, ReduxOp, Term};
+pub use module::{Global, GlobalId, GlobalInit, Module, PlanEntry};
+pub use types::Type;
+pub use value::Value;

@@ -1,0 +1,305 @@
+//! Natural-loop detection and the loop nest.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::{BlockId, Function};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies a loop within a function's [`LoopInfo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(u32);
+
+impl LoopId {
+    /// Create an id from a raw index.
+    pub fn new(index: usize) -> LoopId {
+        LoopId(u32::try_from(index).expect("loop index overflows u32"))
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loop{}", self.0)
+    }
+}
+
+/// A natural loop: a header plus the set of blocks on paths from the header
+/// to its back edges.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edges, dominates the body).
+    pub header: BlockId,
+    /// All blocks of the loop, including the header.
+    pub blocks: BTreeSet<BlockId>,
+    /// Sources of back edges into the header (latch blocks).
+    pub latches: Vec<BlockId>,
+    /// Enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Nesting depth; outermost loops have depth 1.
+    pub depth: u32,
+}
+
+impl Loop {
+    /// Whether `bb` belongs to this loop.
+    pub fn contains(&self, bb: BlockId) -> bool {
+        self.blocks.contains(&bb)
+    }
+
+    /// Blocks outside the loop that the loop can branch to.
+    pub fn exit_targets(&self, func: &Function) -> BTreeSet<BlockId> {
+        let mut out = BTreeSet::new();
+        for &bb in &self.blocks {
+            for s in func.block(bb).term.successors() {
+                if !self.blocks.contains(&s) {
+                    out.insert(s);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// All natural loops of a function, with nesting resolved.
+///
+/// Loops sharing a header are merged (as LLVM does). Irreducible control
+/// flow is not detected as loops.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    loops: Vec<Loop>,
+    /// Innermost loop of each block, if any.
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopInfo {
+    /// Detect loops in `func`.
+    pub fn new(func: &Function, cfg: &Cfg, dom: &DomTree) -> LoopInfo {
+        // 1. Find back edges a -> h (h dominates a), grouped by header.
+        let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for &bb in cfg.rpo() {
+            for s in func.block(bb).term.successors() {
+                if dom.dominates(s, bb) {
+                    match by_header.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(bb),
+                        None => by_header.push((s, vec![bb])),
+                    }
+                }
+            }
+        }
+
+        // 2. For each header, collect the natural loop body: reverse
+        // reachability from the latches, stopping at the header.
+        let mut loops: Vec<Loop> = Vec::new();
+        for (header, latches) in by_header {
+            let mut blocks = BTreeSet::new();
+            blocks.insert(header);
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(bb) = stack.pop() {
+                if blocks.insert(bb) {
+                    for &p in cfg.preds(bb) {
+                        // Unreachable predecessors are not part of any
+                        // path from the header and must not join the loop.
+                        if cfg.is_reachable(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+            loops.push(Loop {
+                header,
+                blocks,
+                latches,
+                parent: None,
+                depth: 0,
+            });
+        }
+
+        // 3. Resolve nesting: the parent of loop L is the smallest loop
+        // strictly containing L's header other than L itself.
+        let ids: Vec<LoopId> = (0..loops.len()).map(LoopId::new).collect();
+        for &l in &ids {
+            let header = loops[l.index()].header;
+            let mut best: Option<LoopId> = None;
+            for &m in &ids {
+                if m == l || !loops[m.index()].contains(header) {
+                    continue;
+                }
+                // m strictly contains l (distinct headers => superset).
+                if loops[m.index()].header == header {
+                    continue;
+                }
+                best = match best {
+                    None => Some(m),
+                    Some(b) if loops[m.index()].blocks.len() < loops[b.index()].blocks.len() => {
+                        Some(m)
+                    }
+                    other => other,
+                };
+            }
+            loops[l.index()].parent = best;
+        }
+        for i in 0..loops.len() {
+            let mut depth = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                depth += 1;
+                cur = loops[p.index()].parent;
+            }
+            loops[i].depth = depth;
+        }
+
+        // 4. Innermost loop per block: the containing loop of greatest depth.
+        let mut innermost: Vec<Option<LoopId>> = vec![None; func.blocks.len()];
+        for &l in &ids {
+            for &bb in &loops[l.index()].blocks {
+                innermost[bb.index()] = match innermost[bb.index()] {
+                    None => Some(l),
+                    Some(prev) if loops[l.index()].depth > loops[prev.index()].depth => Some(l),
+                    other => other,
+                };
+            }
+        }
+
+        LoopInfo { loops, innermost }
+    }
+
+    /// Convenience constructor computing the CFG and dominators internally.
+    pub fn compute(func: &Function) -> LoopInfo {
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(func, &cfg);
+        LoopInfo::new(func, &cfg, &dom)
+    }
+
+    /// Borrow a loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: LoopId) -> &Loop {
+        &self.loops[id.index()]
+    }
+
+    /// Number of loops found.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the function has no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Iterate over `(id, loop)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LoopId, &Loop)> {
+        self.loops
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LoopId::new(i), l))
+    }
+
+    /// The innermost loop containing `bb`, if any.
+    pub fn innermost(&self, bb: BlockId) -> Option<LoopId> {
+        self.innermost[bb.index()]
+    }
+
+    /// The loop whose header is `bb`, if any.
+    pub fn loop_with_header(&self, bb: BlockId) -> Option<LoopId> {
+        self.loops
+            .iter()
+            .position(|l| l.header == bb)
+            .map(LoopId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::value::Value;
+    use crate::CmpOp;
+
+    /// Build a classic doubly-nested counted loop.
+    fn nested() -> Function {
+        let mut b = FunctionBuilder::new("n", vec![Type::I64], None);
+        let oh = b.new_block(); // outer header
+        let ih = b.new_block(); // inner header
+        let ib = b.new_block(); // inner body
+        let ol = b.new_block(); // outer latch
+        let exit = b.new_block();
+        let n = b.param(0);
+        b.br(oh);
+
+        b.switch_to(oh);
+        let (i, i_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(i_phi, b.entry_block(), Value::const_i64(0));
+        let c = b.icmp(CmpOp::Lt, i, n);
+        b.cond_br(c, ih, exit);
+
+        b.switch_to(ih);
+        let (j, j_phi) = b.phi(Type::I64);
+        b.add_phi_incoming(j_phi, oh, Value::const_i64(0));
+        let c2 = b.icmp(CmpOp::Lt, j, n);
+        b.cond_br(c2, ib, ol);
+
+        b.switch_to(ib);
+        let j2 = b.add(Type::I64, j, Value::const_i64(1));
+        b.add_phi_incoming(j_phi, ib, j2);
+        b.br(ih);
+
+        b.switch_to(ol);
+        let i2 = b.add(Type::I64, i, Value::const_i64(1));
+        b.add_phi_incoming(i_phi, ol, i2);
+        b.br(oh);
+
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn finds_two_nested_loops() {
+        let f = nested();
+        let li = LoopInfo::compute(&f);
+        assert_eq!(li.len(), 2);
+        let outer = li.loop_with_header(BlockId::new(1)).unwrap();
+        let inner = li.loop_with_header(BlockId::new(2)).unwrap();
+        assert_eq!(li.get(outer).depth, 1);
+        assert_eq!(li.get(inner).depth, 2);
+        assert_eq!(li.get(inner).parent, Some(outer));
+        assert!(li.get(outer).blocks.is_superset(&li.get(inner).blocks));
+    }
+
+    #[test]
+    fn innermost_assignment() {
+        let f = nested();
+        let li = LoopInfo::compute(&f);
+        let outer = li.loop_with_header(BlockId::new(1)).unwrap();
+        let inner = li.loop_with_header(BlockId::new(2)).unwrap();
+        assert_eq!(li.innermost(BlockId::new(3)), Some(inner)); // inner body
+        assert_eq!(li.innermost(BlockId::new(4)), Some(outer)); // outer latch
+        assert_eq!(li.innermost(BlockId::new(0)), None); // entry
+        assert_eq!(li.innermost(BlockId::new(5)), None); // exit
+    }
+
+    #[test]
+    fn exit_targets() {
+        let f = nested();
+        let li = LoopInfo::compute(&f);
+        let outer = li.loop_with_header(BlockId::new(1)).unwrap();
+        let exits = li.get(outer).exit_targets(&f);
+        assert_eq!(exits.into_iter().collect::<Vec<_>>(), vec![BlockId::new(5)]);
+    }
+
+    #[test]
+    fn no_loops_in_straight_line() {
+        let mut b = FunctionBuilder::new("s", vec![], None);
+        b.ret(None);
+        let f = b.finish();
+        assert!(LoopInfo::compute(&f).is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Modules and global variables.
+
+use crate::func::{FuncId, Function};
+use crate::inst::Heap;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Create an id from a raw index.
+            pub fn new(index: usize) -> $name {
+                $name(u32::try_from(index).expect("id index overflows u32"))
+            }
+
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a global variable within a [`Module`].
+    GlobalId,
+    "@g"
+);
+
+/// Initial contents of a global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-initialized.
+    Zero,
+    /// Raw bytes (padded with zeros to the global's size).
+    Bytes(Vec<u8>),
+    /// Little-endian `i64` values.
+    I64s(Vec<i64>),
+    /// Little-endian `i32` values.
+    I32s(Vec<i32>),
+    /// Little-endian `f64` values.
+    F64s(Vec<f64>),
+}
+
+impl GlobalInit {
+    /// Render the initializer to bytes, padded/truncated to `size`.
+    pub fn to_bytes(&self, size: u64) -> Vec<u8> {
+        let mut out = match self {
+            GlobalInit::Zero => Vec::new(),
+            GlobalInit::Bytes(b) => b.clone(),
+            GlobalInit::I64s(vs) => vs.iter().flat_map(|v| v.to_le_bytes()).collect(),
+            GlobalInit::I32s(vs) => vs.iter().flat_map(|v| v.to_le_bytes()).collect(),
+            GlobalInit::F64s(vs) => vs.iter().flat_map(|v| v.to_le_bytes()).collect(),
+        };
+        out.resize(size as usize, 0);
+        out
+    }
+}
+
+/// A module-level global variable.
+///
+/// Globals are memory objects with static names — the profiler assigns them
+/// names directly (§4.1). The Privateer replace-allocation pass (§4.4)
+/// retargets a global into a logical heap by setting [`Global::heap`]; the
+/// loader then places its storage inside that heap's address range (the
+/// paper does the same with a pre-`main` initializer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Symbolic name (unique within the module).
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Initial contents.
+    pub init: GlobalInit,
+    /// Logical heap this global is assigned to, if any. `None` places it in
+    /// ordinary (untagged) global storage.
+    pub heap: Option<Heap>,
+}
+
+/// A parallel-invocation plan: the target of a
+/// [`crate::inst::Intrinsic::ParallelInvoke`] intrinsic.
+///
+/// The Privateer transformation outlines each selected loop's body into a
+/// function `fn body(iter: i64)` and records it here; the speculative DOALL
+/// engine (crate `privateer-runtime`) distributes `body(lo..hi)` across
+/// workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanEntry {
+    /// The outlined speculative loop body, `fn(i64) -> void`, with
+    /// separation/privacy/prediction checks.
+    pub body: FuncId,
+    /// The outlined *non-speculative* body used for sequential recovery
+    /// (§5.3): allocation replacement only, no checks, no value-prediction
+    /// re-materialization.
+    pub recovery: FuncId,
+}
+
+/// A whole program: functions plus globals.
+///
+/// By convention execution starts at the function named `main`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Module name (for diagnostics).
+    pub name: String,
+    /// Functions; `FuncId` indexes this vector.
+    pub functions: Vec<Function>,
+    /// Globals; `GlobalId` indexes this vector.
+    pub globals: Vec<Global>,
+    /// Parallel-invocation plans, indexed by the `ParallelInvoke` payload.
+    pub plans: Vec<PlanEntry>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+            plans: Vec::new(),
+        }
+    }
+
+    /// Add a function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        self.functions.push(f);
+        FuncId::new(self.functions.len() - 1)
+    }
+
+    /// Add a zero-initialized global of `size` bytes.
+    pub fn add_global(&mut self, name: impl Into<String>, size: u64) -> GlobalId {
+        self.add_global_init(name, size, GlobalInit::Zero)
+    }
+
+    /// Add a global with explicit initial contents.
+    pub fn add_global_init(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        init: GlobalInit,
+    ) -> GlobalId {
+        self.globals.push(Global {
+            name: name.into(),
+            size,
+            init,
+            heap: None,
+        });
+        GlobalId::new(self.globals.len() - 1)
+    }
+
+    /// Borrow a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutably borrow a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// Borrow a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Mutably borrow a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn global_mut(&mut self, id: GlobalId) -> &mut Global {
+        &mut self.globals[id.index()]
+    }
+
+    /// Look up a function id by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::new)
+    }
+
+    /// Look up a global id by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(GlobalId::new)
+    }
+
+    /// The entry function (`main`), if present.
+    pub fn main(&self) -> Option<FuncId> {
+        self.func_by_name("main")
+    }
+
+    /// Iterate over all function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.functions.len()).map(FuncId::new)
+    }
+
+    /// Iterate over all global ids.
+    pub fn global_ids(&self) -> impl Iterator<Item = GlobalId> {
+        (0..self.globals.len()).map(GlobalId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    #[test]
+    fn lookup_by_name() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::new("main", vec![], None));
+        let g = m.add_global("table", 64);
+        assert_eq!(m.func_by_name("main"), Some(f));
+        assert_eq!(m.main(), Some(f));
+        assert_eq!(m.global_by_name("table"), Some(g));
+        assert_eq!(m.global_by_name("nope"), None);
+        assert_eq!(m.global(g).size, 64);
+        assert_eq!(m.global(g).heap, None);
+    }
+
+    #[test]
+    fn global_init_bytes() {
+        assert_eq!(GlobalInit::Zero.to_bytes(4), vec![0, 0, 0, 0]);
+        assert_eq!(
+            GlobalInit::I32s(vec![1, -1]).to_bytes(8),
+            vec![1, 0, 0, 0, 255, 255, 255, 255]
+        );
+        // Truncation and padding.
+        assert_eq!(GlobalInit::Bytes(vec![9, 9, 9]).to_bytes(2), vec![9, 9]);
+        assert_eq!(GlobalInit::Bytes(vec![7]).to_bytes(3), vec![7, 0, 0]);
+        let f = GlobalInit::F64s(vec![1.0]).to_bytes(8);
+        assert_eq!(f64::from_le_bytes(f.try_into().unwrap()), 1.0);
+    }
+
+    #[test]
+    fn function_signature_kept() {
+        let mut m = Module::new("t");
+        let f = m.add_function(Function::new("f", vec![Type::I64, Type::Ptr], Some(Type::F64)));
+        assert_eq!(m.func(f).params, vec![Type::I64, Type::Ptr]);
+        assert_eq!(m.func(f).ret, Some(Type::F64));
+    }
+}

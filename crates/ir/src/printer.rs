@@ -1,0 +1,237 @@
+//! Textual form of modules.
+//!
+//! The printer renumbers instructions in layout order so the output is
+//! stable and round-trips through the [`crate::parser`]:
+//! `print(parse(print(m))) == print(m)`.
+
+use crate::func::{Function, InstId};
+use crate::inst::{InstKind, Term};
+use crate::module::{GlobalInit, Module};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Format a value operand in parseable form.
+fn fmt_val(v: Value, renum: &HashMap<InstId, usize>) -> String {
+    match v {
+        Value::Inst(id) => match renum.get(&id) {
+            Some(n) => format!("%{n}"),
+            None => format!("%unplaced{}", id.index()),
+        },
+        Value::Param(n) => format!("%arg{n}"),
+        Value::ConstInt(v, ty) => format!("{ty}:{v}"),
+        Value::ConstF64(bits) => {
+            let f = f64::from_bits(bits);
+            if f.is_finite() {
+                // `{:?}` keeps a decimal point/exponent so the parser can
+                // tell floats from ints, and round-trips exactly.
+                format!("f64:{f:?}")
+            } else {
+                format!("f64:bits:{bits:#x}")
+            }
+        }
+        Value::Global(g) => format!("@g{}", g.index()),
+        Value::Null => "null".to_string(),
+    }
+}
+
+/// Print one function. `module` provides callee names.
+pub fn print_function(module: &Module, func: &Function) -> String {
+    let mut renum: HashMap<InstId, usize> = HashMap::new();
+    for (n, (_, i)) in func.inst_ids_in_order().enumerate() {
+        renum.insert(i, n);
+    }
+
+    let mut out = String::new();
+    let params = func
+        .params
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ret = match func.ret {
+        Some(t) => t.to_string(),
+        None => "void".to_string(),
+    };
+    let _ = writeln!(out, "fn \"{}\"({}) -> {} {{", func.name, params, ret);
+
+    let v = |val: Value| fmt_val(val, &renum);
+
+    for bb in func.block_ids() {
+        let _ = writeln!(out, "{bb}:");
+        for &i in &func.block(bb).insts {
+            let inst = func.inst(i);
+            let lhs = match inst.ty {
+                Some(_) => format!("%{} = ", renum[&i]),
+                None => String::new(),
+            };
+            let body = match &inst.kind {
+                InstKind::Bin(op, a, b) => {
+                    format!("{} {} {}, {}", op.mnemonic(), inst.ty.expect("binop type"), v(*a), v(*b))
+                }
+                InstKind::Icmp(op, a, b) => format!("icmp {} {}, {}", op.mnemonic(), v(*a), v(*b)),
+                InstKind::Fcmp(op, a, b) => format!("fcmp {} {}, {}", op.mnemonic(), v(*a), v(*b)),
+                InstKind::Cast(op, x, to) => format!("cast {} {} to {}", op.mnemonic(), v(*x), to),
+                InstKind::Load(ty, p) => format!("load {ty}, {}", v(*p)),
+                InstKind::Store(ty, val, p) => format!("store {ty} {}, {}", v(*val), v(*p)),
+                InstKind::Alloca { size, name } => format!("alloca {size}, \"{name}\""),
+                InstKind::Malloc(s) => format!("malloc {}", v(*s)),
+                InstKind::Free(p) => format!("free {}", v(*p)),
+                InstKind::Gep {
+                    base,
+                    index,
+                    scale,
+                    disp,
+                } => format!("gep {}, {}, scale {scale}, disp {disp}", v(*base), v(*index)),
+                InstKind::Call(callee, args) => {
+                    let args = args.iter().map(|&a| v(a)).collect::<Vec<_>>().join(", ");
+                    format!("call @\"{}\"({args})", module.func(*callee).name)
+                }
+                InstKind::CallIntrinsic(which, args) => {
+                    let args = args.iter().map(|&a| v(a)).collect::<Vec<_>>().join(", ");
+                    format!("intr {}({args})", which.name())
+                }
+                InstKind::Phi(ty, incoming) => {
+                    let inc = incoming
+                        .iter()
+                        .map(|(p, val)| format!("[{p}: {}]", v(*val)))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("phi {ty} {inc}")
+                }
+                InstKind::Select(ty, c, t, e) => {
+                    format!("select {ty} {}, {}, {}", v(*c), v(*t), v(*e))
+                }
+            };
+            let _ = writeln!(out, "  {lhs}{body}");
+        }
+        let term = match &func.block(bb).term {
+            Term::Ret(None) => "ret".to_string(),
+            Term::Ret(Some(x)) => format!("ret {}", v(*x)),
+            Term::Br(t) => format!("br {t}"),
+            Term::CondBr(c, t, e) => format!("condbr {}, {t}, {e}", v(*c)),
+            Term::Unreachable => "unreachable".to_string(),
+        };
+        let _ = writeln!(out, "  {term}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Print a whole module.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module \"{}\"", module.name);
+    out.push('\n');
+    for g in &module.globals {
+        let heap = match g.heap {
+            Some(h) => format!(" heap {h}"),
+            None => String::new(),
+        };
+        let init = match &g.init {
+            GlobalInit::Zero => "zero".to_string(),
+            GlobalInit::Bytes(b) => format!(
+                "bytes [{}]",
+                b.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+            GlobalInit::I64s(v) => format!(
+                "i64 [{}]",
+                v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+            GlobalInit::I32s(v) => format!(
+                "i32 [{}]",
+                v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+            GlobalInit::F64s(v) => format!(
+                "f64 [{}]",
+                v.iter().map(|x| format!("{x:?}")).collect::<Vec<_>>().join(", ")
+            ),
+        };
+        let _ = writeln!(out, "global \"{}\" size {}{} init {}", g.name, g.size, heap, init);
+    }
+    for plan in &module.plans {
+        let _ = writeln!(
+            out,
+            "plan @\"{}\" recovery @\"{}\"",
+            module.func(plan.body).name,
+            module.func(plan.recovery).name
+        );
+    }
+    out.push('\n');
+    for f in &module.functions {
+        out.push_str(&print_function(module, f));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{CmpOp, Heap, Intrinsic};
+    use crate::types::Type;
+
+    #[test]
+    fn prints_simple_function() {
+        let mut m = Module::new("demo");
+        let g = m.add_global("table", 16);
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let p = b.malloc(Value::const_i64(8));
+        b.store(Type::I64, Value::const_i64(5), p);
+        let x = b.load(Type::I64, Value::Global(g));
+        b.print_i64(x);
+        let c = b.icmp(CmpOp::Eq, x, Value::const_i64(0));
+        let next = b.new_block();
+        b.cond_br(c, next, next);
+        b.switch_to(next);
+        b.intrinsic(Intrinsic::CheckHeap(Heap::Private), vec![p]);
+        b.ret(None);
+        m.add_function(b.finish());
+
+        let text = print_module(&m);
+        assert!(text.contains("module \"demo\""));
+        assert!(text.contains("global \"table\" size 16 init zero"));
+        assert!(text.contains("%0 = malloc i64:8"));
+        assert!(text.contains("store i64 i64:5, %0"));
+        assert!(text.contains("intr check_heap.priv(%0)"));
+        // Renumbering counts effect-only instructions too: malloc=%0,
+        // store=%1, load=%2, print=%3, icmp=%4.
+        assert!(text.contains("condbr %4, bb1, bb1"));
+    }
+
+    #[test]
+    fn float_constants_round_trip_textually() {
+        let mut b = FunctionBuilder::new("f", vec![], Some(Type::F64));
+        let x = b.fadd(Value::const_f64(0.1), Value::const_f64(2.0));
+        b.ret(Some(x));
+        let m = {
+            let mut m = Module::new("m");
+            m.add_function(b.finish());
+            m
+        };
+        let text = print_module(&m);
+        assert!(text.contains("f64:0.1"), "{text}");
+        assert!(text.contains("f64:2.0"), "{text}");
+    }
+
+    #[test]
+    fn renumbering_is_layout_order() {
+        // Build out of order: create an inst, then a phi that lands first.
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let bb = b.new_block();
+        b.br(bb);
+        b.switch_to(bb);
+        let x = b.add(Type::I64, Value::const_i64(1), Value::const_i64(2));
+        let (_, phi) = b.phi(Type::I64);
+        b.add_phi_incoming(phi, b.entry_block(), Value::const_i64(0));
+        b.add_phi_incoming(phi, bb, x);
+        b.br(bb);
+        let mut m = Module::new("m");
+        m.add_function(b.finish());
+        let text = print_module(&m);
+        // The phi is printed first and therefore gets %0.
+        assert!(text.contains("%0 = phi i64"), "{text}");
+        assert!(text.contains("%1 = add i64"), "{text}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Value types of the IR.
+
+use std::fmt;
+
+/// A first-class value type.
+///
+/// The IR is deliberately low-level: aggregates live in memory and are
+/// accessed through typed loads and stores, as in LLVM after SROA. Pointers
+/// are untyped 64-bit addresses into the simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// A boolean produced by comparisons; stored as one byte.
+    I1,
+    /// An 8-bit integer.
+    I8,
+    /// A 32-bit integer.
+    I32,
+    /// A 64-bit integer.
+    I64,
+    /// A 64-bit IEEE-754 float.
+    F64,
+    /// An untyped 64-bit pointer into the simulated address space.
+    Ptr,
+}
+
+impl Type {
+    /// Size of a value of this type in bytes when stored in memory.
+    ///
+    /// ```
+    /// use privateer_ir::Type;
+    /// assert_eq!(Type::I32.size(), 4);
+    /// assert_eq!(Type::Ptr.size(), 8);
+    /// ```
+    pub fn size(self) -> u32 {
+        match self {
+            Type::I1 | Type::I8 => 1,
+            Type::I32 => 4,
+            Type::I64 | Type::F64 | Type::Ptr => 8,
+        }
+    }
+
+    /// Whether this is an integer type (including `I1`).
+    pub fn is_int(self) -> bool {
+        matches!(self, Type::I1 | Type::I8 | Type::I32 | Type::I64)
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::F64)
+    }
+
+    /// Whether this is the pointer type.
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Type::Ptr)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::I1 => "i1",
+            Type::I8 => "i8",
+            Type::I32 => "i32",
+            Type::I64 => "i64",
+            Type::F64 => "f64",
+            Type::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for Type {
+    type Err = ParseTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "i1" => Ok(Type::I1),
+            "i8" => Ok(Type::I8),
+            "i32" => Ok(Type::I32),
+            "i64" => Ok(Type::I64),
+            "f64" => Ok(Type::F64),
+            "ptr" => Ok(Type::Ptr),
+            _ => Err(ParseTypeError(s.to_owned())),
+        }
+    }
+}
+
+/// Error returned when parsing a [`Type`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTypeError(pub String);
+
+impl fmt::Display for ParseTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown type `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseTypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::I1.size(), 1);
+        assert_eq!(Type::I8.size(), 1);
+        assert_eq!(Type::I32.size(), 4);
+        assert_eq!(Type::I64.size(), 8);
+        assert_eq!(Type::F64.size(), 8);
+        assert_eq!(Type::Ptr.size(), 8);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Type::I1.is_int());
+        assert!(!Type::F64.is_int());
+        assert!(Type::F64.is_float());
+        assert!(Type::Ptr.is_ptr());
+        assert!(!Type::I64.is_ptr());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for ty in [Type::I1, Type::I8, Type::I32, Type::I64, Type::F64, Type::Ptr] {
+            let text = ty.to_string();
+            assert_eq!(text.parse::<Type>().unwrap(), ty);
+        }
+        assert!("i16".parse::<Type>().is_err());
+    }
+}

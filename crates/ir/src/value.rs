@@ -1,0 +1,148 @@
+//! SSA values and operands.
+
+use crate::func::InstId;
+use crate::module::GlobalId;
+use crate::types::Type;
+use std::fmt;
+
+/// An operand of an instruction.
+///
+/// Values are `Copy` and may be freely duplicated; they are either references
+/// to SSA definitions (instruction results, function parameters, global
+/// addresses) or immediate constants.
+///
+/// Floating-point constants are stored as raw IEEE-754 bits so that `Value`
+/// can implement `Eq` and `Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The result of an instruction in the enclosing function.
+    Inst(InstId),
+    /// The `n`-th parameter of the enclosing function.
+    Param(u32),
+    /// An integer constant of the given integer type.
+    ConstInt(i64, Type),
+    /// A 64-bit float constant, stored as its bit pattern.
+    ConstF64(u64),
+    /// The address of a module-level global.
+    Global(GlobalId),
+    /// The null pointer.
+    Null,
+}
+
+impl Value {
+    /// An `i64` constant.
+    ///
+    /// ```
+    /// use privateer_ir::{Type, Value};
+    /// assert_eq!(Value::const_i64(7), Value::ConstInt(7, Type::I64));
+    /// ```
+    pub fn const_i64(v: i64) -> Value {
+        Value::ConstInt(v, Type::I64)
+    }
+
+    /// An `i32` constant.
+    pub fn const_i32(v: i32) -> Value {
+        Value::ConstInt(v as i64, Type::I32)
+    }
+
+    /// An `i8` constant.
+    pub fn const_i8(v: i8) -> Value {
+        Value::ConstInt(v as i64, Type::I8)
+    }
+
+    /// An `i1` (boolean) constant.
+    pub fn const_bool(v: bool) -> Value {
+        Value::ConstInt(v as i64, Type::I1)
+    }
+
+    /// An `f64` constant.
+    ///
+    /// ```
+    /// use privateer_ir::Value;
+    /// assert_eq!(Value::const_f64(1.5).as_f64(), Some(1.5));
+    /// ```
+    pub fn const_f64(v: f64) -> Value {
+        Value::ConstF64(v.to_bits())
+    }
+
+    /// The constant's float value, if this is a float constant.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Value::ConstF64(bits) => Some(f64::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// The constant's integer value, if this is an integer constant.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::ConstInt(v, _) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is a constant (including `Null` and globals, whose
+    /// addresses are link-time constants).
+    pub fn is_const(self) -> bool {
+        matches!(
+            self,
+            Value::ConstInt(..) | Value::ConstF64(_) | Value::Null | Value::Global(_)
+        )
+    }
+
+    /// The instruction defining this value, if any.
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(id),
+            _ => None,
+        }
+    }
+}
+
+impl From<InstId> for Value {
+    fn from(id: InstId) -> Value {
+        Value::Inst(id)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Inst(id) => write!(f, "%{}", id.index()),
+            Value::Param(n) => write!(f, "%arg{n}"),
+            Value::ConstInt(v, ty) => write!(f, "{ty} {v}"),
+            Value::ConstF64(bits) => write!(f, "f64 {:?}", f64::from_bits(*bits)),
+            Value::Global(g) => write!(f, "@g{}", g.index()),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Value::const_i64(-3).as_int(), Some(-3));
+        assert_eq!(Value::const_bool(true).as_int(), Some(1));
+        assert_eq!(Value::const_f64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::const_i64(1).as_f64(), None);
+        assert!(Value::Null.is_const());
+        assert!(!Value::Param(0).is_const());
+    }
+
+    #[test]
+    fn nan_constants_compare_equal_by_bits() {
+        let a = Value::const_f64(f64::NAN);
+        let b = Value::const_f64(f64::NAN);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::const_i64(4).to_string(), "i64 4");
+        assert_eq!(Value::Param(2).to_string(), "%arg2");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}

@@ -1,0 +1,483 @@
+//! Structural, type and SSA verification.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::{BlockId, Function, InstId};
+use crate::inst::{Inst, InstKind, Term};
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A verification failure: one message per violated rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Name of the offending function.
+    pub function: String,
+    /// Human-readable rule violations.
+    pub problems: Vec<String>,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "verification of `{}` failed:", self.function)?;
+        for p in &self.problems {
+            writeln!(f, "  - {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The type of a value, when it can be determined locally.
+pub fn value_type(func: &Function, v: Value) -> Option<Type> {
+    match v {
+        Value::Inst(id) => func.inst(id).ty,
+        Value::Param(n) => func.params.get(n as usize).copied(),
+        Value::ConstInt(_, ty) => Some(ty),
+        Value::ConstF64(_) => Some(Type::F64),
+        Value::Global(_) | Value::Null => Some(Type::Ptr),
+    }
+}
+
+struct Checker<'a> {
+    module: &'a Module,
+    func: &'a Function,
+    problems: Vec<String>,
+}
+
+impl Checker<'_> {
+    fn err(&mut self, msg: String) {
+        self.problems.push(msg);
+    }
+
+    fn expect_type(&mut self, ctx: &str, v: Value, want: Type) {
+        match value_type(self.func, v) {
+            Some(got) if got == want => {}
+            Some(got) => self.err(format!("{ctx}: operand {v} has type {got}, expected {want}")),
+            None => self.err(format!("{ctx}: operand {v} has no type")),
+        }
+    }
+
+    fn check_inst(&mut self, id: InstId, inst: &Inst) {
+        let ctx = format!("%{}", id.index());
+        match &inst.kind {
+            InstKind::Bin(op, a, b) => {
+                let ty = match inst.ty {
+                    Some(t) => t,
+                    None => return self.err(format!("{ctx}: binop without result type")),
+                };
+                if op.is_float() != ty.is_float() {
+                    self.err(format!(
+                        "{ctx}: operator {} used at type {ty}",
+                        op.mnemonic()
+                    ));
+                }
+                self.expect_type(&ctx, *a, ty);
+                self.expect_type(&ctx, *b, ty);
+            }
+            InstKind::Icmp(_, a, b) | InstKind::Fcmp(_, a, b) => {
+                if inst.ty != Some(Type::I1) {
+                    self.err(format!("{ctx}: comparison must produce i1"));
+                }
+                let ta = value_type(self.func, *a);
+                let tb = value_type(self.func, *b);
+                if ta != tb {
+                    self.err(format!("{ctx}: comparison of mismatched types {ta:?} vs {tb:?}"));
+                }
+                if matches!(inst.kind, InstKind::Fcmp(..)) {
+                    self.expect_type(&ctx, *a, Type::F64);
+                }
+            }
+            InstKind::Cast(_, _, to) => {
+                if inst.ty != Some(*to) {
+                    self.err(format!("{ctx}: cast result type mismatch"));
+                }
+            }
+            InstKind::Load(ty, ptr) => {
+                if inst.ty != Some(*ty) {
+                    self.err(format!("{ctx}: load result type mismatch"));
+                }
+                self.expect_type(&ctx, *ptr, Type::Ptr);
+            }
+            InstKind::Store(ty, val, ptr) => {
+                if inst.ty.is_some() {
+                    self.err(format!("{ctx}: store must not produce a value"));
+                }
+                self.expect_type(&ctx, *val, *ty);
+                self.expect_type(&ctx, *ptr, Type::Ptr);
+            }
+            InstKind::Alloca { size, .. } => {
+                if *size == 0 {
+                    self.err(format!("{ctx}: zero-sized alloca"));
+                }
+                if inst.ty != Some(Type::Ptr) {
+                    self.err(format!("{ctx}: alloca must produce ptr"));
+                }
+            }
+            InstKind::Malloc(size) => {
+                self.expect_type(&ctx, *size, Type::I64);
+                if inst.ty != Some(Type::Ptr) {
+                    self.err(format!("{ctx}: malloc must produce ptr"));
+                }
+            }
+            InstKind::Free(ptr) => {
+                self.expect_type(&ctx, *ptr, Type::Ptr);
+            }
+            InstKind::Gep { base, index, .. } => {
+                self.expect_type(&ctx, *base, Type::Ptr);
+                self.expect_type(&ctx, *index, Type::I64);
+                if inst.ty != Some(Type::Ptr) {
+                    self.err(format!("{ctx}: gep must produce ptr"));
+                }
+            }
+            InstKind::Call(callee, args) => {
+                if callee.index() >= self.module.functions.len() {
+                    return self.err(format!("{ctx}: call to unknown function {callee}"));
+                }
+                let sig = self.module.func(*callee);
+                if sig.params.len() != args.len() {
+                    self.err(format!(
+                        "{ctx}: call to `{}` passes {} args, expected {}",
+                        sig.name,
+                        args.len(),
+                        sig.params.len()
+                    ));
+                } else {
+                    for (i, (&a, &want)) in args.iter().zip(&sig.params).enumerate() {
+                        self.expect_type(&format!("{ctx} arg {i}"), a, want);
+                    }
+                }
+                if inst.ty != sig.ret {
+                    self.err(format!(
+                        "{ctx}: call result type {:?} does not match `{}` returning {:?}",
+                        inst.ty, sig.name, sig.ret
+                    ));
+                }
+            }
+            InstKind::CallIntrinsic(which, args) => {
+                if args.len() != which.arity() {
+                    self.err(format!(
+                        "{ctx}: intrinsic {} takes {} args, got {}",
+                        which.name(),
+                        which.arity(),
+                        args.len()
+                    ));
+                }
+                if inst.ty != which.result_type() {
+                    self.err(format!("{ctx}: intrinsic result type mismatch"));
+                }
+            }
+            InstKind::Phi(ty, incoming) => {
+                if inst.ty != Some(*ty) {
+                    self.err(format!("{ctx}: phi result type mismatch"));
+                }
+                for (pred, v) in incoming {
+                    if pred.index() >= self.func.blocks.len() {
+                        self.err(format!("{ctx}: phi references unknown block {pred}"));
+                    }
+                    self.expect_type(&ctx, *v, *ty);
+                }
+            }
+            InstKind::Select(ty, c, t, e) => {
+                if inst.ty != Some(*ty) {
+                    self.err(format!("{ctx}: select result type mismatch"));
+                }
+                self.expect_type(&ctx, *c, Type::I1);
+                self.expect_type(&ctx, *t, *ty);
+                self.expect_type(&ctx, *e, *ty);
+            }
+        }
+    }
+}
+
+/// Verify one function against its module.
+///
+/// Checks performed:
+///
+/// * structural: block/instruction ids in range, each instruction placed in
+///   at most one block, phis grouped at block starts, phi predecessor lists
+///   match the CFG;
+/// * types: operands and results are consistent (see [`value_type`]);
+/// * SSA: every use is dominated by its definition.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] listing every violation found.
+pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyError> {
+    let mut c = Checker {
+        module,
+        func,
+        problems: Vec::new(),
+    };
+
+    // Structural: placement and id ranges.
+    let mut placed_in: HashMap<InstId, BlockId> = HashMap::new();
+    for bb in func.block_ids() {
+        let block = func.block(bb);
+        let mut seen_non_phi = false;
+        for &i in &block.insts {
+            if i.index() >= func.insts.len() {
+                c.err(format!("{bb}: references out-of-range instruction {i}"));
+                continue;
+            }
+            if let Some(prev) = placed_in.insert(i, bb) {
+                c.err(format!("%{}: placed in both {prev} and {bb}", i.index()));
+            }
+            let is_phi = matches!(func.inst(i).kind, InstKind::Phi(..));
+            if is_phi && seen_non_phi {
+                c.err(format!("{bb}: phi %{} after non-phi instructions", i.index()));
+            }
+            if !is_phi {
+                seen_non_phi = true;
+            }
+        }
+        for s in block.term.successors() {
+            if s.index() >= func.blocks.len() {
+                c.err(format!("{bb}: branch to out-of-range block {s}"));
+            }
+        }
+        match &block.term {
+            Term::Ret(v) => {
+                let vt = v.and_then(|v| value_type(func, v));
+                let want = func.ret;
+                if vt != want {
+                    c.err(format!("{bb}: return type {vt:?} does not match {want:?}"));
+                }
+            }
+            Term::CondBr(cond, _, _) => c.expect_type(&bb.to_string(), *cond, Type::I1),
+            _ => {}
+        }
+    }
+
+    // Per-instruction checks.
+    for (i, inst) in func.insts.iter().enumerate() {
+        let id = InstId::new(i);
+        if placed_in.contains_key(&id) {
+            c.check_inst(id, inst);
+        }
+    }
+
+    // SSA dominance.
+    let cfg = Cfg::new(func);
+    let dom = DomTree::new(func, &cfg);
+    for bb in func.block_ids() {
+        if !cfg.is_reachable(bb) {
+            continue;
+        }
+        // Phi predecessor sets must match CFG predecessors exactly.
+        for &i in &func.block(bb).insts {
+            if let InstKind::Phi(_, incoming) = &func.inst(i).kind {
+                let mut want: Vec<BlockId> = cfg.preds(bb).to_vec();
+                let mut got: Vec<BlockId> = incoming.iter().map(|(p, _)| *p).collect();
+                want.sort_unstable();
+                got.sort_unstable();
+                if want != got {
+                    c.err(format!(
+                        "%{}: phi incoming blocks {got:?} do not match predecessors {want:?}",
+                        i.index()
+                    ));
+                }
+            }
+        }
+
+        let check_use = |c: &mut Checker<'_>, user: String, v: Value, at_end_of: BlockId| {
+            if let Value::Inst(def) = v {
+                match placed_in.get(&def) {
+                    None => c.err(format!("{user}: uses unplaced instruction %{}", def.index())),
+                    Some(&def_bb) => {
+                        // A definition reaches the end of its own block, so
+                        // `def_bb == at_end_of` is fine here; the same-block
+                        // use-before-def case is checked positionally by the
+                        // caller.
+                        let ok = def_bb == at_end_of || dom.dominates(def_bb, at_end_of);
+                        if !ok {
+                            c.err(format!(
+                                "{user}: use of %{} is not dominated by its definition",
+                                def.index()
+                            ));
+                        }
+                    }
+                }
+            }
+        };
+
+        let insts = func.block(bb).insts.clone();
+        for (pos, &i) in insts.iter().enumerate() {
+            let inst = func.inst(i).clone();
+            if let InstKind::Phi(_, incoming) = &inst.kind {
+                // Phi operands must dominate the end of the incoming block.
+                for (pred, v) in incoming {
+                    check_use(&mut c, format!("%{}", i.index()), *v, *pred);
+                }
+                continue;
+            }
+            inst.for_each_operand(|v| {
+                if let Value::Inst(def) = v {
+                    if placed_in.get(&def) == Some(&bb) {
+                        // Same-block use: definition must appear earlier.
+                        let def_pos = insts.iter().position(|&x| x == def).unwrap_or(usize::MAX);
+                        if def_pos >= pos {
+                            c.err(format!(
+                                "%{}: same-block use of %{} before its definition",
+                                i.index(),
+                                def.index()
+                            ));
+                        }
+                        return;
+                    }
+                }
+                check_use(&mut c, format!("%{}", i.index()), v, bb);
+            });
+        }
+        let term = func.block(bb).term.clone();
+        term.for_each_operand(|v| check_use(&mut c, format!("{bb} terminator"), v, bb));
+    }
+
+    if c.problems.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyError {
+            function: func.name.clone(),
+            problems: c.problems,
+        })
+    }
+}
+
+/// Verify every function in the module.
+///
+/// # Errors
+///
+/// Returns the first function's [`VerifyError`] encountered (functions are
+/// checked in id order).
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for f in module.func_ids() {
+        verify_function(module, module.func(f))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpOp;
+
+    #[test]
+    fn accepts_well_formed() {
+        let mut b = FunctionBuilder::new("ok", vec![Type::I64], Some(Type::I64));
+        let p = b.param(0);
+        let q = b.add(Type::I64, p, Value::const_i64(1));
+        b.ret(Some(q));
+        let f = b.finish();
+        verify_function(&Module::new("m"), &f).unwrap();
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut b = FunctionBuilder::new("bad", vec![Type::I64], Some(Type::I64));
+        let p = b.param(0);
+        // fadd at i64-typed operands: operator/type mismatch.
+        let q = b.bin(crate::inst::BinOp::FAdd, Type::I64, p, p);
+        b.ret(Some(q));
+        let f = b.finish();
+        let err = verify_function(&Module::new("m"), &f).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("fadd")));
+    }
+
+    #[test]
+    fn rejects_use_before_def_in_block() {
+        let mut f = Function::new("bad", vec![], None);
+        let later = f.add_inst(Inst {
+            kind: InstKind::Bin(crate::inst::BinOp::Add, Value::const_i64(1), Value::const_i64(2)),
+            ty: Some(Type::I64),
+        });
+        let user = f.add_inst(Inst {
+            kind: InstKind::Bin(crate::inst::BinOp::Add, Value::Inst(later), Value::const_i64(0)),
+            ty: Some(Type::I64),
+        });
+        let entry = f.entry();
+        f.block_mut(entry).insts.push(user);
+        f.block_mut(entry).insts.push(later);
+        f.block_mut(entry).term = Term::Ret(None);
+        let err = verify_function(&Module::new("m"), &f).unwrap_err();
+        assert!(err
+            .problems
+            .iter()
+            .any(|p| p.contains("before its definition")));
+    }
+
+    #[test]
+    fn rejects_bad_return_type() {
+        let mut b = FunctionBuilder::new("bad", vec![], Some(Type::I64));
+        b.ret(None);
+        let f = b.finish();
+        let err = verify_function(&Module::new("m"), &f).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("return type")));
+    }
+
+    #[test]
+    fn rejects_phi_pred_mismatch() {
+        let mut b = FunctionBuilder::new("bad", vec![], None);
+        let next = b.new_block();
+        b.br(next);
+        b.switch_to(next);
+        let (_, phi) = b.phi(Type::I64);
+        // Claims an incoming edge from `next` itself, which is not a pred.
+        b.add_phi_incoming(phi, next, Value::const_i64(0));
+        b.ret(None);
+        let f = b.finish();
+        let err = verify_function(&Module::new("m"), &f).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("phi incoming")));
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = Module::new("m");
+        let callee = m.add_function(Function::new("callee", vec![Type::I64], None));
+        let mut b = FunctionBuilder::new("caller", vec![], None);
+        b.call(callee, vec![], None);
+        b.ret(None);
+        let f = b.finish();
+        let err = verify_function(&m, &f).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("passes 0 args")));
+    }
+
+    #[test]
+    fn rejects_double_placement() {
+        let mut f = Function::new("bad", vec![], None);
+        let i = f.add_inst(Inst {
+            kind: InstKind::Malloc(Value::const_i64(8)),
+            ty: Some(Type::Ptr),
+        });
+        let entry = f.entry();
+        f.block_mut(entry).insts.push(i);
+        f.block_mut(entry).insts.push(i);
+        f.block_mut(entry).term = Term::Ret(None);
+        let err = verify_function(&Module::new("m"), &f).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("placed in both")));
+    }
+
+    #[test]
+    fn cross_block_dominance_enforced() {
+        // A value defined on one side of a diamond used at the join.
+        let mut b = FunctionBuilder::new("bad", vec![Type::I64], Some(Type::I64));
+        let t = b.new_block();
+        let e = b.new_block();
+        let join = b.new_block();
+        let c = b.icmp(CmpOp::Lt, b.param(0), Value::const_i64(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let v = b.add(Type::I64, b.param(0), Value::const_i64(1));
+        b.br(join);
+        b.switch_to(e);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(Some(v)); // v does not dominate join
+        let f = b.finish();
+        let err = verify_function(&Module::new("m"), &f).unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("not dominated")));
+    }
+}

@@ -1,0 +1,94 @@
+//! Parser robustness: malformed input must produce located errors, never
+//! panics; and mutations of valid programs fail cleanly.
+
+use privateer_ir::{parser, printer, Module};
+use proptest::prelude::*;
+
+#[test]
+fn error_cases_name_the_line() {
+    let cases: &[(&str, usize, &str)] = &[
+        ("garbage", 1, "unexpected line"),
+        ("module \"m\"\nfn \"f\"() -> void {\n  ret\n}\n", 3, "outside any block"),
+        ("module \"m\"\nfn \"f\"() -> bogus {\nbb0:\n  ret\n}\n", 2, "unknown type"),
+        (
+            "module \"m\"\nfn \"f\"() -> void {\nbb0:\n  %0 = load i32\n  ret\n}\n",
+            4,
+            "load takes",
+        ),
+        (
+            "module \"m\"\nfn \"f\"() -> void {\nbb0:\n  %5 = malloc i64:8\n  ret\n}\n",
+            4,
+            "does not match position",
+        ),
+        (
+            "module \"m\"\nfn \"f\"() -> void {\nbb0:\n  %0 = call @\"nope\"()\n  ret\n}\n",
+            4,
+            "unknown function",
+        ),
+        (
+            "module \"m\"\nfn \"f\"() -> void {\nbb0:\n  intr frob()\n  ret\n}\n",
+            4,
+            "unknown intrinsic",
+        ),
+        ("module \"m\"\nplan @\"nope\" recovery @\"nope\"\n", 2, "unknown function"),
+        ("module \"m\"\nfn \"f\"() -> void {\nbb0:\n  condbr %0, bb0\n}\n", 4, "condbr takes"),
+        ("module \"m\"\nglobal \"g\" size x init zero\n", 2, "bad size"),
+        ("module \"m\"\nfn \"f\"() -> void {\n", 2, "unterminated"),
+    ];
+    for (src, line, needle) in cases {
+        let err = parser::parse(src).expect_err(src);
+        assert_eq!(err.line, *line, "{src:?} -> {err}");
+        assert!(err.msg.contains(needle), "{src:?} -> {err}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn never_panics_on_arbitrary_text(text in ".{0,400}") {
+        let _ = parser::parse(&text);
+    }
+
+    /// Nor on arbitrary *line mutations* of a valid program (much more
+    /// likely to reach deep parser states than pure noise).
+    #[test]
+    fn never_panics_on_mutated_program(
+        line_no in 0usize..32,
+        mutation in "[ -~]{0,40}",
+    ) {
+        let mut m = Module::new("victim");
+        let g = m.add_global("g", 16);
+        let mut b = privateer_ir::builder::FunctionBuilder::new("main", vec![], None);
+        let p = b.malloc(privateer_ir::Value::const_i64(8));
+        b.store(privateer_ir::Type::I64, privateer_ir::Value::const_i64(1), p);
+        let v = b.load(privateer_ir::Type::I64, privateer_ir::Value::Global(g));
+        b.print_i64(v);
+        b.free(p);
+        b.ret(None);
+        m.add_function(b.finish());
+        let text = printer::print_module(&m);
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let idx = line_no % lines.len();
+        lines[idx] = mutation;
+        let mutated = lines.join("\n");
+        let _ = parser::parse(&mutated); // must not panic
+    }
+
+    /// Round-trip through text preserves behaviour hooks: whatever parses
+    /// back also verifies or fails verification — never panics.
+    #[test]
+    fn reparsed_modules_never_panic_verification(
+        line_no in 0usize..32,
+        mutation in "[ -~]{0,40}",
+    ) {
+        let src = format!(
+            "module \"m\"\nglobal \"g\" size 8 init zero\nfn \"main\"() -> void {{\nbb0:\n  %0 = load i64, @g0\n  intr print_i64(%0)\n  {mutation}\n  ret\n}}\n"
+        );
+        let _ = line_no;
+        if let Ok(m) = parser::parse(&src) {
+            let _ = privateer_ir::verify::verify_module(&m);
+        }
+    }
+}

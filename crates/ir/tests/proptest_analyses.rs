@@ -1,0 +1,145 @@
+//! Property tests for the control-flow analyses on arbitrary random CFGs:
+//! dominators against a brute-force reachability oracle, and loop-nest
+//! invariants.
+
+use privateer_ir::cfg::Cfg;
+use privateer_ir::dom::DomTree;
+use privateer_ir::loops::LoopInfo;
+use privateer_ir::{BlockId, Function, Term, Type, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Build a function whose CFG is given by an arbitrary successor list
+/// (blocks have no instructions — only shape matters here).
+fn cfg_function(n: usize, edges: &[(usize, usize, Option<usize>)]) -> Function {
+    let mut f = Function::new("g", vec![Type::I64], None);
+    for _ in 1..n {
+        f.add_block();
+    }
+    for &(src, a, b) in edges {
+        let term = match b {
+            Some(b) => Term::CondBr(
+                Value::const_bool(true),
+                BlockId::new(a % n),
+                BlockId::new(b % n),
+            ),
+            None => Term::Br(BlockId::new(a % n)),
+        };
+        f.block_mut(BlockId::new(src % n)).term = term;
+    }
+    f
+}
+
+/// Brute force: `a` dominates `b` iff every entry→b path passes through
+/// `a` — equivalently, b is unreachable from the entry when `a` is
+/// removed (for a ≠ b).
+fn dominates_oracle(f: &Function, cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
+    if !cfg.is_reachable(b) || !cfg.is_reachable(a) {
+        return false;
+    }
+    if a == b {
+        return true;
+    }
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![f.entry()];
+    if f.entry() == a {
+        return true;
+    }
+    while let Some(x) = stack.pop() {
+        if x == a || !seen.insert(x) {
+            continue;
+        }
+        if x == b {
+            return false; // reached b while avoiding a
+        }
+        for s in f.block(x).term.successors() {
+            stack.push(s);
+        }
+    }
+    true
+}
+
+fn edges_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, Option<usize>)>> {
+    prop::collection::vec(
+        (0..n, 0..n, prop::option::of(0..n)),
+        0..(2 * n),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The Cooper–Harvey–Kennedy dominator tree agrees with the
+    /// brute-force oracle on every block pair of arbitrary CFGs
+    /// (including irreducible ones).
+    #[test]
+    fn dominators_match_oracle(edges in edges_strategy(7)) {
+        let f = cfg_function(7, &edges);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        for a in f.block_ids() {
+            for b in f.block_ids() {
+                let got = dom.dominates(a, b);
+                let want = dominates_oracle(&f, &cfg, a, b);
+                prop_assert_eq!(got, want, "dominates({}, {})", a, b);
+            }
+        }
+    }
+
+    /// Loop-nest invariants on arbitrary CFGs: headers dominate their
+    /// bodies; parents strictly contain children; the innermost map is
+    /// consistent.
+    #[test]
+    fn loop_nest_invariants(edges in edges_strategy(7)) {
+        let f = cfg_function(7, &edges);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let li = LoopInfo::new(&f, &cfg, &dom);
+        for (id, lp) in li.iter() {
+            // Natural loop: the header dominates every block of the loop.
+            for &bb in &lp.blocks {
+                prop_assert!(dom.dominates(lp.header, bb), "{} !dom {}", lp.header, bb);
+            }
+            // Back edges really are back edges.
+            for &latch in &lp.latches {
+                prop_assert!(lp.contains(latch));
+                prop_assert!(
+                    f.block(latch).term.successors().any(|s| s == lp.header)
+                );
+            }
+            if let Some(parent) = lp.parent {
+                let p = li.get(parent);
+                prop_assert!(p.blocks.is_superset(&lp.blocks));
+                prop_assert!(p.blocks.len() > lp.blocks.len());
+                prop_assert_eq!(p.depth + 1, lp.depth);
+            } else {
+                prop_assert_eq!(lp.depth, 1);
+            }
+            // innermost() returns a loop whose depth is maximal among
+            // containing loops.
+            for &bb in &lp.blocks {
+                let inner = li.innermost(bb).expect("block in a loop has an innermost loop");
+                let il = li.get(inner);
+                prop_assert!(il.contains(bb));
+                prop_assert!(il.depth >= lp.depth, "{} inner {:?} vs {:?}", bb, inner, id);
+            }
+        }
+    }
+
+    /// The reverse postorder visits every reachable block exactly once,
+    /// entry first, and every edge target is listed.
+    #[test]
+    fn rpo_well_formed(edges in edges_strategy(9)) {
+        let f = cfg_function(9, &edges);
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.rpo();
+        prop_assert_eq!(rpo.first().copied(), Some(f.entry()));
+        let set: BTreeSet<_> = rpo.iter().copied().collect();
+        prop_assert_eq!(set.len(), rpo.len(), "duplicates in RPO");
+        for &bb in rpo {
+            for s in f.block(bb).term.successors() {
+                prop_assert!(set.contains(&s), "successor {} missing", s);
+            }
+        }
+    }
+}

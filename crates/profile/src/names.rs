@@ -1,0 +1,129 @@
+//! Context-qualified names for memory objects.
+
+use privateer_ir::{FuncId, GlobalId, InstId, Module};
+use std::fmt;
+
+/// A static call site.
+pub type CallSite = (FuncId, InstId);
+
+/// A name for a set of runtime memory objects, as assigned by the
+/// pointer-to-object profiler (§4.1).
+///
+/// Globals and constants get static names. Dynamic objects (malloc, stack
+/// slots) are named by their allocation instruction *plus a dynamic
+/// context*: the call path that reached the instruction. This
+/// distinguishes, e.g., list nodes allocated by `enqueue` called from two
+/// different places — the distinction the paper's Figure 2 walk-through
+/// relies on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjectName {
+    /// A module-level global.
+    Global(GlobalId),
+    /// Objects from one allocation site under one call path.
+    Site {
+        /// The allocating instruction.
+        site: CallSite,
+        /// Call path (outermost call first) that reached the site.
+        path: Vec<CallSite>,
+    },
+}
+
+impl ObjectName {
+    /// The static allocation site, if this is a dynamic object.
+    pub fn alloc_site(&self) -> Option<CallSite> {
+        match self {
+            ObjectName::Global(_) => None,
+            ObjectName::Site { site, .. } => Some(*site),
+        }
+    }
+
+    /// Render with function names resolved from `module`.
+    pub fn display<'a>(&'a self, module: &'a Module) -> DisplayName<'a> {
+        DisplayName { name: self, module }
+    }
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectName::Global(g) => write!(f, "{g}"),
+            ObjectName::Site { site, path } => {
+                write!(f, "{}:{}", site.0, site.1)?;
+                if !path.is_empty() {
+                    write!(f, " via ")?;
+                    for (i, (fun, inst)) in path.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " > ")?;
+                        }
+                        write!(f, "{fun}:{inst}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Human-readable form of an [`ObjectName`] with symbol names resolved.
+#[derive(Debug)]
+pub struct DisplayName<'a> {
+    name: &'a ObjectName,
+    module: &'a Module,
+}
+
+impl fmt::Display for DisplayName<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name {
+            ObjectName::Global(g) => write!(f, "@{}", self.module.global(*g).name),
+            ObjectName::Site { site, path } => {
+                write!(f, "{}:{}", self.module.func(site.0).name, site.1)?;
+                if !path.is_empty() {
+                    write!(f, " via ")?;
+                    for (i, (fun, inst)) in path.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " > ")?;
+                        }
+                        write!(f, "{}:{}", self.module.func(*fun).name, inst)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_ir::Function;
+
+    #[test]
+    fn distinct_paths_distinct_names() {
+        let site = (FuncId::new(1), InstId::new(2));
+        let a = ObjectName::Site {
+            site,
+            path: vec![(FuncId::new(0), InstId::new(5))],
+        };
+        let b = ObjectName::Site {
+            site,
+            path: vec![(FuncId::new(0), InstId::new(9))],
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.alloc_site(), Some(site));
+        assert_eq!(ObjectName::Global(GlobalId::new(0)).alloc_site(), None);
+    }
+
+    #[test]
+    fn display_with_module() {
+        let mut m = Module::new("t");
+        m.add_function(Function::new("main", vec![], None));
+        m.add_function(Function::new("enqueue", vec![], None));
+        let g = m.add_global("Q", 16);
+        assert_eq!(ObjectName::Global(g).display(&m).to_string(), "@Q");
+        let n = ObjectName::Site {
+            site: (FuncId::new(1), InstId::new(3)),
+            path: vec![(FuncId::new(0), InstId::new(7))],
+        };
+        assert_eq!(n.display(&m).to_string(), "enqueue:%3 via main:%7");
+    }
+}

@@ -1,0 +1,344 @@
+//! The combined profiling suite: pointer-to-object, lifetime, control,
+//! flow-dependence and hotness profiling in one instrumented run (§4.1).
+
+use crate::interval::IntervalMap;
+use crate::names::{CallSite, ObjectName};
+use privateer_ir::loops::LoopId;
+use privateer_ir::{BlockId, FuncId, InstId, Module};
+use privateer_vm::hooks::{AllocKind, ExecCtx, Hooks, LoopFrame};
+use privateer_vm::interp::{Interp, ProgramImage};
+use privateer_vm::runtime::BasicRuntime;
+use privateer_vm::{AddressSpace, Trap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// Identifies a loop module-wide.
+pub type LoopRef = (FuncId, LoopId);
+
+/// Per-loop execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Times the loop was entered.
+    pub invocations: u64,
+    /// Total iterations across all invocations.
+    pub total_iters: u64,
+    /// Instructions executed while the loop was active (inclusive of
+    /// callees and nested loops) — the hotness measure.
+    pub weight: u64,
+}
+
+/// Taken/not-taken counts for a conditional branch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Times the branch went to its `then` target.
+    pub taken: u64,
+    /// Times it went to its `else` target.
+    pub not_taken: u64,
+}
+
+impl BranchStats {
+    /// Fraction of executions that took the `then` target.
+    pub fn bias(&self) -> f64 {
+        let total = self.taken + self.not_taken;
+        if total == 0 {
+            0.5
+        } else {
+            self.taken as f64 / total as f64
+        }
+    }
+}
+
+/// A profiled cross-iteration memory flow dependence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepInfo {
+    /// Times the dependence manifested.
+    pub count: u64,
+    /// Byte addresses through which it flowed (capped).
+    pub addrs: BTreeSet<u64>,
+    /// Whether `addrs` was truncated.
+    pub addrs_overflow: bool,
+}
+
+const DEP_ADDR_CAP: usize = 64;
+
+#[derive(Debug, Clone)]
+struct WriterInfo {
+    src: CallSite,
+    frames: Vec<LoopFrame>,
+}
+
+#[derive(Debug, Clone)]
+struct LiveObj {
+    name: ObjectName,
+    alloc_frames: Vec<LoopFrame>,
+}
+
+/// The collected profile, queryable by the classifier (§4.2).
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// For each load/store instruction, the set of object names its pointer
+    /// referenced (the pointer-to-object map).
+    pub access_objects: BTreeMap<CallSite, BTreeSet<ObjectName>>,
+    /// `(object, loop)` pairs where every instance of `object` allocated
+    /// under `loop` was freed within its allocation iteration.
+    pub short_lived: BTreeSet<(ObjectName, LoopRef)>,
+    /// Objects observed allocated at least once under each loop.
+    pub allocated_under: BTreeSet<(ObjectName, LoopRef)>,
+    /// Cross-iteration memory flow dependences per loop.
+    pub cross_deps: BTreeMap<LoopRef, BTreeMap<(CallSite, CallSite), DepInfo>>,
+    /// Per-loop trip counts and hotness.
+    pub loop_stats: BTreeMap<LoopRef, LoopStats>,
+    /// Conditional-branch statistics.
+    pub branch_stats: BTreeMap<(FuncId, BlockId), BranchStats>,
+    /// Blocks that executed at least once.
+    pub executed_blocks: BTreeSet<(FuncId, BlockId)>,
+    /// Total instructions executed in the profiled run.
+    pub total_insts: u64,
+}
+
+impl Profile {
+    /// Objects referenced by the pointer of the access at `site`.
+    pub fn objects_at(&self, site: CallSite) -> Option<&BTreeSet<ObjectName>> {
+        self.access_objects.get(&site)
+    }
+
+    /// Whether `object` is short-lived with respect to `lp` (paper:
+    /// `Profile.isShortLived(o, L)`).
+    pub fn is_short_lived(&self, object: &ObjectName, lp: LoopRef) -> bool {
+        self.short_lived.contains(&(object.clone(), lp))
+    }
+
+    /// Loops ordered by decreasing hotness weight.
+    pub fn loops_by_weight(&self) -> Vec<(LoopRef, LoopStats)> {
+        let mut v: Vec<_> = self.loop_stats.iter().map(|(&l, &s)| (l, s)).collect();
+        v.sort_by(|a, b| b.1.weight.cmp(&a.1.weight).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Whether a block never executed during profiling (a control-
+    /// speculation candidate).
+    pub fn block_unexecuted(&self, func: FuncId, bb: BlockId) -> bool {
+        !self.executed_blocks.contains(&(func, bb))
+    }
+
+    /// The cross-iteration flow dependences of one loop.
+    pub fn deps_of(&self, lp: LoopRef) -> impl Iterator<Item = (&(CallSite, CallSite), &DepInfo)> {
+        self.cross_deps.get(&lp).into_iter().flatten()
+    }
+}
+
+/// The [`Hooks`] implementation that gathers a [`Profile`].
+#[derive(Debug, Default)]
+pub struct ProfileSuite {
+    objmap: IntervalMap<ObjectName>,
+    access_objects: BTreeMap<CallSite, BTreeSet<ObjectName>>,
+    live: HashMap<u64, LiveObj>,
+    allocated_under: BTreeSet<(ObjectName, LoopRef)>,
+    lifetime_violations: BTreeSet<(ObjectName, LoopRef)>,
+    last_writer: HashMap<u64, Rc<WriterInfo>>,
+    cross_deps: BTreeMap<LoopRef, BTreeMap<(CallSite, CallSite), DepInfo>>,
+    loop_stats: BTreeMap<LoopRef, LoopStats>,
+    branch_stats: BTreeMap<(FuncId, BlockId), BranchStats>,
+    executed_blocks: BTreeSet<(FuncId, BlockId)>,
+    total_insts: u64,
+}
+
+impl ProfileSuite {
+    /// A suite with globals pre-registered in the object map.
+    pub fn new(module: &Module, image: &ProgramImage) -> ProfileSuite {
+        let mut suite = ProfileSuite::default();
+        for g in module.global_ids() {
+            let addr = image.global_addrs[g.index()];
+            let size = module.global(g).size.max(1);
+            suite.objmap.insert(addr, addr + size, ObjectName::Global(g));
+        }
+        suite
+    }
+
+    fn record_access(&mut self, ctx: &ExecCtx, func: FuncId, inst: InstId, addr: u64, size: u32) {
+        let names: Vec<ObjectName> = self
+            .objmap
+            .query_range(addr, addr + size.max(1) as u64)
+            .into_iter()
+            .map(|(_, _, n)| n.clone())
+            .collect();
+        let entry = self.access_objects.entry((func, inst)).or_default();
+        for n in names {
+            entry.insert(n);
+        }
+        let _ = ctx;
+    }
+
+    fn note_flow(&mut self, ctx: &ExecCtx, dst: CallSite, addr: u64, size: u32) {
+        for b in addr..addr + size as u64 {
+            let Some(w) = self.last_writer.get(&b).cloned() else {
+                continue;
+            };
+            // For each loop active at both the write and the read, in the
+            // same invocation: earlier iteration => loop-carried flow dep.
+            for rf in &ctx.loop_stack {
+                let Some(wf) = w
+                    .frames
+                    .iter()
+                    .find(|wf| wf.func == rf.func && wf.loop_id == rf.loop_id)
+                else {
+                    continue;
+                };
+                if wf.invocation == rf.invocation && wf.iter < rf.iter {
+                    let dep = self
+                        .cross_deps
+                        .entry((rf.func, rf.loop_id))
+                        .or_default()
+                        .entry((w.src, dst))
+                        .or_default();
+                    dep.count += 1;
+                    if dep.addrs.len() < DEP_ADDR_CAP {
+                        dep.addrs.insert(b);
+                    } else {
+                        dep.addrs_overflow = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_dealloc(&mut self, ctx: &ExecCtx, addr: u64) {
+        if let Some(obj) = self.live.remove(&addr) {
+            // Short-lived w.r.t. loop L iff freed in the same iteration of
+            // the same invocation in which it was allocated.
+            for af in &obj.alloc_frames {
+                let ok = ctx.loop_stack.iter().any(|cf| {
+                    cf.func == af.func
+                        && cf.loop_id == af.loop_id
+                        && cf.invocation == af.invocation
+                        && cf.iter == af.iter
+                });
+                if !ok {
+                    self.lifetime_violations
+                        .insert((obj.name.clone(), (af.func, af.loop_id)));
+                }
+            }
+            self.objmap.remove_at(addr);
+        }
+    }
+
+    /// Finalize into a queryable [`Profile`].
+    pub fn finish(mut self) -> Profile {
+        // Never-freed objects are not short-lived for any enclosing loop.
+        let live: Vec<LiveObj> = self.live.drain().map(|(_, o)| o).collect();
+        for obj in live {
+            for af in &obj.alloc_frames {
+                self.lifetime_violations
+                    .insert((obj.name.clone(), (af.func, af.loop_id)));
+            }
+        }
+        let short_lived = self
+            .allocated_under
+            .iter()
+            .filter(|k| !self.lifetime_violations.contains(k))
+            .cloned()
+            .collect();
+        Profile {
+            access_objects: self.access_objects,
+            short_lived,
+            allocated_under: self.allocated_under,
+            cross_deps: self.cross_deps,
+            loop_stats: self.loop_stats,
+            branch_stats: self.branch_stats,
+            executed_blocks: self.executed_blocks,
+            total_insts: self.total_insts,
+        }
+    }
+}
+
+impl Hooks for ProfileSuite {
+    fn on_load(&mut self, ctx: &ExecCtx, func: FuncId, inst: InstId, addr: u64, size: u32, _mem: &AddressSpace) {
+        self.record_access(ctx, func, inst, addr, size);
+        self.note_flow(ctx, (func, inst), addr, size);
+    }
+
+    fn on_store(&mut self, ctx: &ExecCtx, func: FuncId, inst: InstId, addr: u64, size: u32, _mem: &AddressSpace) {
+        self.record_access(ctx, func, inst, addr, size);
+        let info = Rc::new(WriterInfo {
+            src: (func, inst),
+            frames: ctx.loop_stack.clone(),
+        });
+        for b in addr..addr + size as u64 {
+            self.last_writer.insert(b, Rc::clone(&info));
+        }
+    }
+
+    fn on_alloc(&mut self, ctx: &ExecCtx, func: FuncId, inst: InstId, addr: u64, size: u64, _kind: AllocKind) {
+        let name = ObjectName::Site {
+            site: (func, inst),
+            path: ctx.call_path(),
+        };
+        self.objmap.insert(addr, addr + size.max(1), name.clone());
+        for f in &ctx.loop_stack {
+            self.allocated_under
+                .insert((name.clone(), (f.func, f.loop_id)));
+        }
+        self.live.insert(
+            addr,
+            LiveObj {
+                name,
+                alloc_frames: ctx.loop_stack.clone(),
+            },
+        );
+    }
+
+    fn on_free(&mut self, ctx: &ExecCtx, func: FuncId, inst: InstId, addr: u64) {
+        // Free sites participate in the pointer-to-object map too — the
+        // replace-allocation pass needs to know which objects a `free`
+        // releases (§4.4).
+        self.record_access(ctx, func, inst, addr, 1);
+        self.note_dealloc(ctx, addr);
+    }
+
+    fn on_cond_branch(&mut self, _ctx: &ExecCtx, func: FuncId, block: BlockId, taken: bool) {
+        let e = self.branch_stats.entry((func, block)).or_default();
+        if taken {
+            e.taken += 1;
+        } else {
+            e.not_taken += 1;
+        }
+    }
+
+    fn on_loop_enter(&mut self, _ctx: &ExecCtx, func: FuncId, loop_id: LoopId) {
+        self.loop_stats.entry((func, loop_id)).or_default().invocations += 1;
+    }
+
+    fn on_loop_iter(&mut self, _ctx: &ExecCtx, func: FuncId, loop_id: LoopId, _iter: u64, _mem: &AddressSpace) {
+        self.loop_stats.entry((func, loop_id)).or_default().total_iters += 1;
+    }
+
+    fn on_block(&mut self, _ctx: &ExecCtx, func: FuncId, block: BlockId) {
+        self.executed_blocks.insert((func, block));
+    }
+
+    fn on_inst(&mut self, ctx: &ExecCtx, _func: FuncId) {
+        self.total_insts += 1;
+        for f in &ctx.loop_stack {
+            self.loop_stats
+                .entry((f.func, f.loop_id))
+                .or_default()
+                .weight += 1;
+        }
+    }
+}
+
+/// Run `main` under the full profiling suite.
+///
+/// Returns the profile and the program's output bytes (callers use the
+/// output to cross-check against reference runs).
+///
+/// # Errors
+///
+/// Propagates any [`Trap`] from execution.
+pub fn profile_module(module: &Module, image: &ProgramImage) -> Result<(Profile, Vec<u8>), Trap> {
+    let suite = ProfileSuite::new(module, image);
+    let mut interp = Interp::new(module, image, suite, BasicRuntime::strict());
+    interp.run_main()?;
+    let out = interp.rt.take_output();
+    Ok((interp.hooks.finish(), out))
+}

@@ -1,0 +1,76 @@
+//! Property test: the interval map agrees with a naive per-byte model
+//! under arbitrary insert/remove/query sequences (the pointer-to-object
+//! profiler depends on this exactness).
+
+use privateer_profile::IntervalMap;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { start: u64, len: u64, tag: u32 },
+    RemoveAt { start: u64 },
+    Query { addr: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..400, 1u64..40, any::<u32>())
+            .prop_map(|(start, len, tag)| Op::Insert { start, len, tag }),
+        (0u64..400).prop_map(|start| Op::RemoveAt { start }),
+        (0u64..450).prop_map(|addr| Op::Query { addr }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn agrees_with_byte_model(ops in prop::collection::vec(op_strategy(), 0..80)) {
+        let mut map: IntervalMap<u32> = IntervalMap::new();
+        // Model: byte -> (range start, tag).
+        let mut model: HashMap<u64, (u64, u32)> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert { start, len, tag } => {
+                    let end = start + len;
+                    // Eviction semantics: any overlapped range vanishes
+                    // entirely.
+                    let mut starts_overlapping = std::collections::BTreeSet::new();
+                    for b in start..end {
+                        if let Some(&(s, _)) = model.get(&b) {
+                            starts_overlapping.insert(s);
+                        }
+                    }
+                    model.retain(|_, &mut (s, _)| !starts_overlapping.contains(&s));
+                    for b in start..end {
+                        model.insert(b, (start, tag));
+                    }
+                    map.insert(start, end, tag);
+                }
+                Op::RemoveAt { start } => {
+                    map.remove_at(start);
+                    model.retain(|_, &mut (s, _)| s != start);
+                }
+                Op::Query { addr } => {
+                    let got = map.get(addr).copied();
+                    let want = model.get(&addr).map(|&(_, t)| t);
+                    prop_assert_eq!(got, want, "query at {}", addr);
+                }
+            }
+        }
+        // Final sweep: every byte agrees.
+        for addr in 0..460u64 {
+            let got = map.get(addr).copied();
+            let want = model.get(&addr).map(|&(_, t)| t);
+            prop_assert_eq!(got, want, "final sweep at {}", addr);
+        }
+        // Structural sanity: stored ranges are disjoint.
+        let ranges: Vec<(u64, u64)> = map.iter().map(|(s, e, _)| (s, e)).collect();
+        for (i, &(s1, e1)) in ranges.iter().enumerate() {
+            for &(s2, e2) in &ranges[i + 1..] {
+                prop_assert!(e1 <= s2 || e2 <= s1, "ranges overlap: {s1}..{e1} vs {s2}..{e2}");
+            }
+        }
+    }
+}

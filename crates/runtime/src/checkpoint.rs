@@ -1,0 +1,346 @@
+//! Checkpoint objects and the phase-2 (cross-worker) privacy validation
+//! (§5.2).
+//!
+//! Workers contribute their speculative state — private-heap pages, shadow
+//! metadata, reduction images, deferred output — to a checkpoint object.
+//! Merging replays each worker's per-byte access summary against the
+//! committed metadata using the same Table 2 rules as the fast phase,
+//! which is exactly the paper's two-phase design: conflicts that phase 1
+//! cannot see (they span workers) surface here.
+
+use crate::shadow;
+use privateer_ir::inst::SHADOW_BIT;
+use privateer_ir::Heap;
+use privateer_vm::{AddressSpace, MisspecKind, Page, Trap, PAGE_SIZE};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// One worker's speculative state for one checkpoint period.
+#[derive(Debug, Clone)]
+pub struct Contribution {
+    /// Contributing worker.
+    pub worker: usize,
+    /// Checkpoint period index.
+    pub period: u64,
+    /// The worker's shadow-heap pages (its phase-1 metadata).
+    pub shadow_pages: Vec<(u64, Arc<Page>)>,
+    /// The worker's private-heap pages (speculative data values).
+    pub priv_pages: Vec<(u64, Arc<Page>)>,
+    /// The worker's cumulative image of each registered reduction object.
+    pub redux_images: Vec<Vec<u8>>,
+    /// Deferred output, `(iteration, bytes)`.
+    pub io: Vec<(i64, Vec<u8>)>,
+}
+
+/// Collect a worker's contribution from its address space.
+pub fn collect_contribution(
+    worker: usize,
+    period: u64,
+    mem: &AddressSpace,
+    redux: &[(privateer_ir::ReduxOp, u64, u64)],
+    io: Vec<(i64, Vec<u8>)>,
+) -> Contribution {
+    let priv_lo = Heap::Private.base();
+    let priv_hi = priv_lo + crate::heaps::HEAP_SPAN;
+    let shadow_lo = priv_lo | SHADOW_BIT;
+    let shadow_hi = priv_hi | SHADOW_BIT;
+    let redux_images = redux
+        .iter()
+        .map(|&(_, addr, size)| {
+            let mut buf = vec![0u8; size as usize];
+            mem.read_bytes(addr, &mut buf);
+            buf
+        })
+        .collect();
+    Contribution {
+        worker,
+        period,
+        shadow_pages: mem.pages_in_range(shadow_lo, shadow_hi),
+        priv_pages: mem.pages_in_range(priv_lo, priv_hi),
+        redux_images,
+        io,
+    }
+}
+
+/// Incremental checkpoint merge state for one period.
+#[derive(Debug, Default)]
+pub struct CheckpointMerge {
+    /// Byte address → (timestamp, value): the latest write this period.
+    written: HashMap<u64, (u8, u8)>,
+    /// Bytes some worker read as live-in this period.
+    read_live_in: HashSet<u64>,
+    /// Deferred output gathered from all workers.
+    io: Vec<(i64, Vec<u8>)>,
+    /// Reduction images per object per worker (worker-cumulative).
+    pub redux_images: Vec<Vec<Vec<u8>>>,
+}
+
+impl CheckpointMerge {
+    /// Empty merge state expecting `redux_objects` registered reductions.
+    pub fn new(redux_objects: usize) -> CheckpointMerge {
+        CheckpointMerge {
+            redux_images: vec![Vec::new(); redux_objects],
+            ..CheckpointMerge::default()
+        }
+    }
+
+    /// Merge one worker's contribution, validating privacy against the
+    /// committed metadata in `committed` (phase 2).
+    ///
+    /// # Errors
+    ///
+    /// Traps with a privacy misspeculation on a cross-worker
+    /// read-of-earlier-write or the conservative read/write conflict.
+    pub fn add(&mut self, contrib: Contribution, committed: &AddressSpace) -> Result<(), Trap> {
+        let priv_lookup: HashMap<u64, &Arc<Page>> = contrib
+            .priv_pages
+            .iter()
+            .map(|(base, p)| (*base, p))
+            .collect();
+        for (sbase, spage) in &contrib.shadow_pages {
+            // Fast skip: untouched pages carry only live-in/old-write.
+            if spage.iter().all(|&m| m <= shadow::OLD_WRITE) {
+                continue;
+            }
+            let pbase = *sbase & !SHADOW_BIT;
+            for (off, &meta) in spage.iter().enumerate() {
+                if meta <= shadow::OLD_WRITE {
+                    continue;
+                }
+                let baddr = pbase + off as u64;
+                if meta == shadow::READ_LIVE_IN {
+                    // Stale read: an earlier *period* wrote this byte; the
+                    // worker read its pre-invocation fork instead.
+                    if committed.read_u8(baddr | SHADOW_BIT) == shadow::OLD_WRITE {
+                        return Err(privacy(baddr, "read of a value committed by an earlier iteration (stale live-in)"));
+                    }
+                    if self.written.contains_key(&baddr) {
+                        return Err(privacy(baddr, "cross-worker read/write conflict on a live-in byte (conservative)"));
+                    }
+                    self.read_live_in.insert(baddr);
+                } else {
+                    // A timestamped write.
+                    if self.read_live_in.contains(&baddr) {
+                        return Err(privacy(baddr, "cross-worker read/write conflict on a live-in byte (conservative)"));
+                    }
+                    let value = priv_lookup
+                        .get(&(baddr & !(PAGE_SIZE - 1)))
+                        .map(|p| p[(baddr & (PAGE_SIZE - 1)) as usize])
+                        .unwrap_or(0);
+                    match self.written.get(&baddr) {
+                        Some(&(prev_ts, _)) if prev_ts >= meta => {}
+                        _ => {
+                            self.written.insert(baddr, (meta, value));
+                        }
+                    }
+                }
+            }
+        }
+        for (i, img) in contrib.redux_images.into_iter().enumerate() {
+            self.redux_images[i].push(img);
+        }
+        self.io.extend(contrib.io);
+        Ok(())
+    }
+
+    /// Number of private bytes written this period.
+    pub fn written_bytes(&self) -> usize {
+        self.written.len()
+    }
+
+    /// Commit the merged state: apply the latest write per byte onto
+    /// `mem`, mark those bytes old-write in the committed shadow, and
+    /// return the deferred output in iteration order.
+    pub fn commit(self, mem: &mut AddressSpace) -> Vec<(i64, Vec<u8>)> {
+        // Batch consecutive bytes for fewer page operations.
+        let mut bytes: Vec<(u64, u8)> = self.written.iter().map(|(&a, &(_, v))| (a, v)).collect();
+        bytes.sort_unstable_by_key(|&(a, _)| a);
+        let mut i = 0;
+        while i < bytes.len() {
+            let start = bytes[i].0;
+            let mut run = vec![bytes[i].1];
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j].0 == start + run.len() as u64 {
+                run.push(bytes[j].1);
+                j += 1;
+            }
+            mem.write_bytes(start, &run);
+            let marks = vec![shadow::OLD_WRITE; run.len()];
+            mem.write_bytes(start | SHADOW_BIT, &marks);
+            i = j;
+        }
+        let mut io = self.io;
+        io.sort_by_key(|a| a.0);
+        io
+    }
+}
+
+fn privacy(addr: u64, why: &str) -> Trap {
+    Trap::misspec(MisspecKind::Privacy, format!("{why} (byte {addr:#x})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::WorkerRuntime;
+    use privateer_vm::RuntimeIface;
+
+    fn worker_mem() -> (WorkerRuntime, AddressSpace) {
+        (WorkerRuntime::new(0, 0.0, 0), AddressSpace::new())
+    }
+
+    fn contrib_of(worker: usize, period: u64, mem: &AddressSpace, rt: &mut WorkerRuntime) -> Contribution {
+        collect_contribution(worker, period, mem, &[], rt.take_io())
+    }
+
+    #[test]
+    fn clean_merge_commits_latest_write() {
+        let a = Heap::Private.base() + 0x100;
+        // Worker 0 writes iteration 0; worker 1 writes iteration 1.
+        let (mut r0, mut m0) = worker_mem();
+        r0.begin_iteration(0, 0).unwrap();
+        r0.private_write(a, 1, &mut m0).unwrap();
+        m0.write_u8(a, 10);
+        r0.end_iteration().unwrap();
+
+        let mut r1 = WorkerRuntime::new(1, 0.0, 0);
+        let mut m1 = AddressSpace::new();
+        r1.begin_iteration(1, 1).unwrap();
+        r1.private_write(a, 1, &mut m1).unwrap();
+        m1.write_u8(a, 20);
+        r1.end_iteration().unwrap();
+
+        let mut committed = AddressSpace::new();
+        let mut merge = CheckpointMerge::new(0);
+        merge.add(contrib_of(0, 0, &m0, &mut r0), &committed).unwrap();
+        merge.add(contrib_of(1, 0, &m1, &mut r1), &committed).unwrap();
+        assert_eq!(merge.written_bytes(), 1);
+        merge.commit(&mut committed);
+        // Iteration 1 is sequentially later: its value wins.
+        assert_eq!(committed.read_u8(a), 20);
+        assert_eq!(committed.read_u8(a | SHADOW_BIT), shadow::OLD_WRITE);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_winner() {
+        let a = Heap::Private.base() + 0x200;
+        let mk = |iter: u64, val: u8| {
+            let mut rt = WorkerRuntime::new(iter as usize, 0.0, 0);
+            let mut mem = AddressSpace::new();
+            rt.begin_iteration(iter as i64, iter).unwrap();
+            rt.private_write(a, 1, &mut mem).unwrap();
+            mem.write_u8(a, val);
+            rt.end_iteration().unwrap();
+            (rt, mem)
+        };
+        for order in [[0usize, 1], [1, 0]] {
+            let contribs: Vec<_> = order
+                .iter()
+                .map(|&w| {
+                    let (mut rt, mem) = mk(w as u64, (w as u8 + 1) * 10);
+                    contrib_of(w, 0, &mem, &mut rt)
+                })
+                .collect();
+            let mut committed = AddressSpace::new();
+            let mut merge = CheckpointMerge::new(0);
+            for c in contribs {
+                merge.add(c, &committed).unwrap();
+            }
+            merge.commit(&mut committed);
+            assert_eq!(committed.read_u8(a), 20, "iteration 1's value must win");
+        }
+    }
+
+    #[test]
+    fn cross_worker_read_write_conflict_detected() {
+        let a = Heap::Private.base() + 0x300;
+        // Worker 0 reads live-in at iteration 1; worker 1 wrote at iteration 0.
+        let (mut r0, mut m0) = worker_mem();
+        r0.begin_iteration(1, 1).unwrap();
+        r0.private_read(a, 1, &mut m0).unwrap();
+        r0.end_iteration().unwrap();
+
+        let mut r1 = WorkerRuntime::new(1, 0.0, 0);
+        let mut m1 = AddressSpace::new();
+        r1.begin_iteration(0, 0).unwrap();
+        r1.private_write(a, 1, &mut m1).unwrap();
+        r1.end_iteration().unwrap();
+
+        for order in [true, false] {
+            let committed = AddressSpace::new();
+            let mut merge = CheckpointMerge::new(0);
+            let c0 = contrib_of(0, 0, &m0, &mut WorkerRuntime::new(0, 0.0, 0));
+            let c0 = Contribution { io: vec![], ..c0 };
+            let c1 = contrib_of(1, 0, &m1, &mut WorkerRuntime::new(1, 0.0, 0));
+            let c1 = Contribution { io: vec![], ..c1 };
+            let (first, second) = if order { (c0.clone(), c1.clone()) } else { (c1, c0) };
+            let r = merge
+                .add(first, &committed)
+                .and_then(|()| merge.add(second, &committed));
+            assert!(r.is_err(), "conflict must be caught in either order");
+        }
+    }
+
+    #[test]
+    fn stale_read_against_committed_meta_detected() {
+        let a = Heap::Private.base() + 0x400;
+        // Committed state: byte was written in an earlier period.
+        let mut committed = AddressSpace::new();
+        committed.write_u8(a | SHADOW_BIT, shadow::OLD_WRITE);
+
+        // Worker reads it as live-in (its fork predates the write).
+        let (mut rt, mut mem) = worker_mem();
+        rt.begin_iteration(9, 0).unwrap();
+        rt.private_read(a, 1, &mut mem).unwrap();
+        let mut merge = CheckpointMerge::new(0);
+        let e = merge
+            .add(contrib_of(0, 1, &mem, &mut rt), &committed)
+            .unwrap_err();
+        assert!(matches!(e, Trap::Misspec(m) if m.kind == MisspecKind::Privacy));
+    }
+
+    #[test]
+    fn disjoint_writes_all_commit() {
+        let base = Heap::Private.base() + 0x1000;
+        let mut committed = AddressSpace::new();
+        let mut merge = CheckpointMerge::new(0);
+        for w in 0..4usize {
+            let mut rt = WorkerRuntime::new(w, 0.0, 0);
+            let mut mem = AddressSpace::new();
+            rt.begin_iteration(w as i64, w as u64).unwrap();
+            let a = base + (w as u64) * 8;
+            rt.private_write(a, 8, &mut mem).unwrap();
+            mem.write_u64(a, w as u64 + 100);
+            rt.end_iteration().unwrap();
+            merge
+                .add(contrib_of(w, 0, &mem, &mut rt), &committed)
+                .unwrap();
+        }
+        assert_eq!(merge.written_bytes(), 32);
+        merge.commit(&mut committed);
+        for w in 0..4u64 {
+            assert_eq!(committed.read_u64(base + w * 8), w + 100);
+        }
+    }
+
+    #[test]
+    fn io_commits_in_iteration_order() {
+        let mut merge = CheckpointMerge::new(0);
+        let committed = AddressSpace::new();
+        let mk = |w: usize, io: Vec<(i64, Vec<u8>)>| Contribution {
+            worker: w,
+            period: 0,
+            shadow_pages: vec![],
+            priv_pages: vec![],
+            redux_images: vec![],
+            io,
+        };
+        merge.add(mk(0, vec![(2, b"c".to_vec()), (0, b"a".to_vec())]), &committed).unwrap();
+        merge.add(mk(1, vec![(1, b"b".to_vec())]), &committed).unwrap();
+        let mut out = Vec::new();
+        for (_, bytes) in merge.commit(&mut AddressSpace::new()) {
+            out.extend(bytes);
+        }
+        assert_eq!(out, b"abc");
+    }
+}

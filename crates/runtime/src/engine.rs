@@ -1,0 +1,776 @@
+//! The speculative DOALL engine (§5): worker processes, checkpoints,
+//! misspeculation detection and recovery.
+//!
+//! The paper's runtime forks worker *processes* whose virtual memory maps
+//! replicate the logical heaps copy-on-write; here each worker is a thread
+//! holding a COW [`AddressSpace`] fork, which provides the identical
+//! isolation semantics (see DESIGN.md). Execution follows Figure 5:
+//! workers run iterations round-robin, contribute speculative state to
+//! checkpoint objects every `k` iterations without barriers, and a
+//! misspeculation squashes uncommitted periods, triggers sequential
+//! recovery from the last valid checkpoint, and resumes parallel
+//! execution.
+
+use crate::checkpoint::{collect_contribution, CheckpointMerge, Contribution};
+use crate::heaps::SharedHeaps;
+use crate::model::{self, SimCost};
+use crate::shadow::MAX_PERIOD;
+use crate::worker::{WorkerRuntime, WorkerStats};
+use privateer_ir::inst::SHADOW_BIT;
+use privateer_ir::{FuncId, Heap, InstId, Module, PlanEntry, ReduxOp};
+use privateer_vm::interp::{Interp, ProgramImage};
+use privateer_vm::{AddressSpace, MisspecKind, NopHooks, RuntimeIface, Trap, Val};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Checkpoint period in iterations (clamped to the 253-iteration
+    /// metadata bound).
+    pub checkpoint_period: u64,
+    /// Injected misspeculation rate per iteration (the §6.3 experiment).
+    pub inject_rate: f64,
+    /// Seed for deterministic injection.
+    pub inject_seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            checkpoint_period: 64,
+            inject_rate: 0.0,
+            inject_seed: 0x5eed,
+        }
+    }
+}
+
+/// Observable engine events (Figure 5's timeline; asserted by tests).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// A parallel region was invoked over `lo..hi`.
+    Invoke {
+        /// First iteration.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+    },
+    /// Checkpoint `period` (iterations `base..end`) was validated and
+    /// committed.
+    CheckpointCommitted {
+        /// Checkpoint period index.
+        period: u64,
+        /// First iteration of the period.
+        base: i64,
+        /// Exclusive end of the period.
+        end: i64,
+    },
+    /// Misspeculation detected at `iter`.
+    MisspecDetected {
+        /// The earliest misspeculated iteration.
+        iter: i64,
+        /// Which check failed.
+        kind: MisspecKind,
+    },
+    /// Sequential recovery re-executed iterations `from..=through`.
+    Recovery {
+        /// First re-executed iteration.
+        from: i64,
+        /// Last re-executed iteration (inclusive).
+        through: i64,
+    },
+    /// Parallel execution resumed at `at`.
+    ParallelResumed {
+        /// First iteration of the resumed region.
+        at: i64,
+    },
+    /// The invocation finished.
+    InvokeDone,
+}
+
+/// Aggregate statistics across all invocations (feeds Table 3 and
+/// Figure 8).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Parallel-region invocations.
+    pub invocations: u64,
+    /// Checkpoints constructed (committed or squashed).
+    pub checkpoints: u64,
+    /// Bytes validated by `private_read` across all workers.
+    pub priv_read_bytes: u64,
+    /// Bytes validated by `private_write` across all workers.
+    pub priv_write_bytes: u64,
+    /// Misspeculations detected.
+    pub misspecs: u64,
+    /// Iterations re-executed sequentially during recovery.
+    pub recovered_iters: u64,
+    /// Iterations executed speculatively (including squashed work).
+    pub iters_speculative: u64,
+    /// Wall-clock time of parallel invocations (ns).
+    pub wall_ns: u64,
+    /// `workers × wall` — total computational capacity (ns).
+    pub capacity_ns: u64,
+    /// Σ worker time executing the loop body, checks included (ns).
+    pub body_ns: u64,
+    /// Σ worker time in `private_read` validation (ns).
+    pub priv_read_ns: u64,
+    /// Σ worker time in `private_write` validation (ns).
+    pub priv_write_ns: u64,
+    /// Σ worker checkpoint-packaging time + engine merge time (ns).
+    pub checkpoint_ns: u64,
+    /// Host-independent simulated-cycle accounting (see
+    /// [`crate::model`]).
+    pub sim: SimCost,
+}
+
+impl EngineStats {
+    /// The Figure 8 utilization breakdown as fractions of total capacity:
+    /// `(useful, private read, private write, checkpoint, spawn/join)`.
+    pub fn breakdown(&self) -> (f64, f64, f64, f64, f64) {
+        let cap = self.capacity_ns.max(1) as f64;
+        let useful =
+            self.body_ns.saturating_sub(self.priv_read_ns + self.priv_write_ns) as f64 / cap;
+        let pr = self.priv_read_ns as f64 / cap;
+        let pw = self.priv_write_ns as f64 / cap;
+        let ck = self.checkpoint_ns as f64 / cap;
+        let spawn_join = (1.0 - useful - pr - pw - ck).max(0.0);
+        (useful, pr, pw, ck, spawn_join)
+    }
+}
+
+enum Msg {
+    Contribution(Box<Contribution>),
+    Misspec { iter: i64, kind: MisspecKind },
+    Done { stats: WorkerStats },
+}
+
+enum SpanOutcome {
+    Complete,
+    Misspec { iter: i64, resume_base: i64 },
+}
+
+/// The main-process runtime: shared-heap allocation plus the speculative
+/// DOALL engine behind [`RuntimeIface::parallel_invoke`].
+#[derive(Debug)]
+pub struct MainRuntime {
+    /// Engine configuration.
+    pub cfg: EngineConfig,
+    /// Shared logical-heap allocators.
+    pub heaps: SharedHeaps,
+    /// Aggregate statistics.
+    pub stats: EngineStats,
+    /// Event log (Figure 5 timeline).
+    pub events: Vec<EngineEvent>,
+    redux: Vec<(ReduxOp, u64, u64)>,
+    out: Vec<u8>,
+}
+
+impl MainRuntime {
+    /// Build from a loaded image and a configuration.
+    pub fn new(image: &ProgramImage, cfg: EngineConfig) -> MainRuntime {
+        MainRuntime {
+            cfg,
+            heaps: SharedHeaps::new(image),
+            stats: EngineStats::default(),
+            events: Vec::new(),
+            redux: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Bytes printed so far (committed output only).
+    pub fn output_bytes(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Take the committed output.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Run one parallel span `lo..hi`; on misspeculation the committed
+    /// prefix is installed in `mem` and the outcome names the earliest
+    /// misspeculated iteration.
+    #[allow(clippy::too_many_arguments)]
+    fn span(
+        &mut self,
+        module: &Module,
+        global_addrs: &[u64],
+        body: FuncId,
+        lo: i64,
+        hi: i64,
+        mem: &mut AddressSpace,
+    ) -> Result<SpanOutcome, Trap> {
+        let w_count = self.cfg.workers.max(1);
+        let k = self.cfg.checkpoint_period.clamp(1, MAX_PERIOD) as i64;
+        let span_t0 = Instant::now();
+
+        // Fresh live-in metadata for this span.
+        let shadow_lo = Heap::Private.base() | SHADOW_BIT;
+        mem.clear_range(shadow_lo, shadow_lo + crate::heaps::HEAP_SPAN);
+
+        // Pre-span reduction values; workers start from the identity.
+        let redux = self.redux.clone();
+        let pre_redux: Vec<Vec<u8>> = redux
+            .iter()
+            .map(|&(_, addr, size)| {
+                let mut buf = vec![0u8; size as usize];
+                mem.read_bytes(addr, &mut buf);
+                buf
+            })
+            .collect();
+        let mut base = mem.fork();
+        for &(op, addr, size) in &redux {
+            let ident = op.identity_bytes();
+            let mut image = vec![0u8; size as usize];
+            for chunk in image.chunks_mut(8) {
+                chunk.copy_from_slice(&ident[..chunk.len()]);
+            }
+            base.write_bytes(addr, &image);
+        }
+
+        // Earliest misspeculated iteration, shared with workers.
+        let flag = AtomicI64::new(i64::MAX);
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let cfg = self.cfg;
+
+        let mut outcome: Result<SpanOutcome, Trap> = Ok(SpanOutcome::Complete);
+        let mut committed_through = lo; // first uncommitted iteration
+        let mut max_busy = 0u64;
+        let mut merge_sim = 0u64;
+
+        std::thread::scope(|scope| {
+            for w in 0..w_count {
+                let worker_mem = base.fork();
+                let tx = tx.clone();
+                let flag = &flag;
+                let redux = redux.clone();
+                scope.spawn(move || {
+                    worker_main(
+                        w, w_count, module, global_addrs, body, lo, hi, k, cfg, worker_mem, &redux,
+                        tx, flag,
+                    );
+                });
+            }
+            drop(tx);
+
+            // Collection loop: merge checkpoints strictly in period order so
+            // phase-2 validation sees the committed metadata of every
+            // earlier period.
+            let n_periods = ((hi - lo) + k - 1) / k;
+            let mut pending: BTreeMap<u64, Vec<Contribution>> = BTreeMap::new();
+            let mut next_commit: u64 = 0;
+            let mut earliest: Option<(i64, MisspecKind)> = None;
+            let mut done = 0usize;
+            let mut merge_ns = 0u64;
+
+            let note_misspec = |earliest: &mut Option<(i64, MisspecKind)>, iter: i64, kind| {
+                flag.fetch_min(iter, Ordering::SeqCst);
+                match earliest {
+                    Some((e, _)) if *e <= iter => {}
+                    _ => *earliest = Some((iter, kind)),
+                }
+            };
+
+            while done < w_count {
+                let msg = rx.recv().expect("workers hold the sender");
+                match msg {
+                    Msg::Contribution(c) => {
+                        pending.entry(c.period).or_default().push(*c);
+                    }
+                    Msg::Misspec { iter, kind } => {
+                        self.stats.misspecs += 1;
+                        note_misspec(&mut earliest, iter, kind);
+                    }
+                    Msg::Done { stats } => {
+                        done += 1;
+                        self.stats.body_ns += stats.body_ns;
+                        self.stats.priv_read_ns += stats.priv_read_ns;
+                        self.stats.priv_write_ns += stats.priv_write_ns;
+                        self.stats.priv_read_bytes += stats.priv_read_bytes;
+                        self.stats.priv_write_bytes += stats.priv_write_bytes;
+                        self.stats.checkpoint_ns += stats.checkpoint_ns;
+                        self.stats.iters_speculative += stats.iters;
+                        // Simulated-time model: the slowest worker bounds
+                        // the span.
+                        let priv_cost = (stats.priv_read_bytes + stats.priv_write_bytes)
+                            * model::PRIV_BYTE;
+                        let package_cost = stats.contrib_pages * model::PACKAGE_PAGE;
+                        let busy = stats.insts + priv_cost + package_cost;
+                        max_busy = max_busy.max(busy);
+                        let checks = stats.priv_read_calls + stats.priv_write_calls + stats.check_calls;
+                        self.stats.sim.useful += stats.insts.saturating_sub(checks);
+                        self.stats.sim.priv_read +=
+                            stats.priv_read_bytes * model::PRIV_BYTE + stats.priv_read_calls;
+                        self.stats.sim.priv_write +=
+                            stats.priv_write_bytes * model::PRIV_BYTE + stats.priv_write_calls;
+                        self.stats.sim.checkpoint += package_cost;
+                    }
+                }
+                // Commit fully contributed periods in order, stopping at
+                // (and never committing) a misspeculated period.
+                while next_commit < n_periods as u64 {
+                    let bad_period = earliest.map(|(m, _)| (m - lo) / k);
+                    if bad_period.is_some_and(|bp| next_commit as i64 >= bp) {
+                        break;
+                    }
+                    let ready = pending
+                        .get(&next_commit)
+                        .is_some_and(|v| v.len() == w_count);
+                    if !ready {
+                        break;
+                    }
+                    let contribs = pending.remove(&next_commit).expect("checked above");
+                    let t0 = Instant::now();
+                    let contrib_pages_in_merge: u64 = contribs
+                        .iter()
+                        .map(|c| (c.shadow_pages.len() + c.priv_pages.len()) as u64)
+                        .sum();
+                    let mut merge = CheckpointMerge::new(redux.len());
+                    let mut failed = None;
+                    for c in contribs {
+                        if let Err(e) = merge.add(c, mem) {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                    self.stats.checkpoints += 1;
+                    let pbase = lo + next_commit as i64 * k;
+                    let pend = (pbase + k).min(hi);
+                    match failed {
+                        Some(Trap::Misspec(m)) => {
+                            // Phase-2 violation: the whole period re-executes.
+                            note_misspec(&mut earliest, pend - 1, m.kind);
+                        }
+                        Some(other) => {
+                            outcome = Err(other);
+                            done = w_count; // bail; workers will observe the flag
+                            flag.fetch_min(lo, Ordering::SeqCst);
+                            break;
+                        }
+                        None => {
+                            merge_sim += merge.written_bytes() as u64 * model::MERGE_BYTE
+                                + contrib_pages_in_merge * model::MERGE_PAGE;
+                            // Commit reductions: pre ⊕ fold(worker images).
+                            for (i, &(op, addr, _size)) in redux.iter().enumerate() {
+                                let mut acc = pre_redux[i].clone();
+                                for img in &merge.redux_images[i] {
+                                    combine_images(op, &mut acc, img);
+                                }
+                                mem.write_bytes(addr, &acc);
+                            }
+                            for (_, bytes) in merge.commit(mem) {
+                                self.out.extend(bytes);
+                            }
+                            merge_ns += t0.elapsed().as_nanos() as u64;
+                            committed_through = pend;
+                            self.events.push(EngineEvent::CheckpointCommitted {
+                                period: next_commit,
+                                base: pbase,
+                                end: pend,
+                            });
+                            next_commit += 1;
+                        }
+                    }
+                }
+            }
+            self.stats.checkpoint_ns += merge_ns;
+
+            if outcome.is_ok() {
+                if let Some((iter, kind)) = earliest {
+                    self.events.push(EngineEvent::MisspecDetected { iter, kind });
+                    let _ = kind;
+                    outcome = Ok(SpanOutcome::Misspec {
+                        iter,
+                        resume_base: committed_through,
+                    });
+                }
+            }
+        });
+
+        let wall = span_t0.elapsed().as_nanos() as u64;
+        self.stats.wall_ns += wall;
+        self.stats.capacity_ns += wall * w_count as u64;
+        let span_sim = model::SPAWN_BASE
+            + model::SPAWN_PER_WORKER * w_count as u64
+            + max_busy
+            + merge_sim;
+        self.stats.sim.total += span_sim;
+        self.stats.sim.capacity += span_sim * w_count as u64;
+        self.stats.sim.checkpoint += merge_sim;
+        outcome
+    }
+
+    /// Sequential, non-speculative re-execution of `from..=through` using
+    /// the recovery body (§5.3).
+    fn recover(
+        &mut self,
+        module: &Module,
+        global_addrs: &[u64],
+        recovery: FuncId,
+        from: i64,
+        through: i64,
+        mem: &mut AddressSpace,
+    ) -> Result<(), Trap> {
+        self.events.push(EngineEvent::Recovery { from, through });
+        let rt = RecoveryRuntime {
+            heaps: self.heaps.clone(),
+            out: Vec::new(),
+        };
+        let taken = std::mem::take(mem);
+        let mut interp = Interp::with_mem(module, taken, global_addrs.to_vec(), NopHooks, rt);
+        let mut result = Ok(());
+        for iter in from..=through {
+            if let Err(e) = interp.call_function(recovery, &[Val::Int(iter)]) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.out.extend(std::mem::take(&mut interp.rt.out));
+        let rec_insts = interp.stats.insts;
+        self.stats.sim.total += rec_insts;
+        self.stats.sim.recovery += rec_insts;
+        *mem = interp.mem;
+        self.stats.recovered_iters += (through - from + 1).max(0) as u64;
+        result
+    }
+}
+
+fn combine_images(op: ReduxOp, acc: &mut [u8], img: &[u8]) {
+    for (a, b) in acc.chunks_mut(8).zip(img.chunks(8)) {
+        if a.len() == 8 && b.len() == 8 {
+            let mut ab = [0u8; 8];
+            ab.copy_from_slice(a);
+            let mut bb = [0u8; 8];
+            bb.copy_from_slice(b);
+            a.copy_from_slice(&op.combine(ab, bb));
+        }
+    }
+}
+
+/// One worker thread: execute the cyclic share of each checkpoint period,
+/// contribute state, continue until done or until a misspeculation at or
+/// before the current period (the paper's §5.3 termination policy).
+#[allow(clippy::too_many_arguments)]
+fn worker_main(
+    w: usize,
+    w_count: usize,
+    module: &Module,
+    global_addrs: &[u64],
+    body: FuncId,
+    lo: i64,
+    hi: i64,
+    k: i64,
+    cfg: EngineConfig,
+    mem: AddressSpace,
+    redux: &[(ReduxOp, u64, u64)],
+    tx: mpsc::Sender<Msg>,
+    flag: &AtomicI64,
+) {
+    let rt = WorkerRuntime::new(w, cfg.inject_rate, cfg.inject_seed);
+    let mut interp = Interp::with_mem(module, mem, global_addrs.to_vec(), NopHooks, rt);
+    let mut period: u64 = 0;
+    'periods: loop {
+        let pbase = lo + period as i64 * k;
+        if pbase >= hi {
+            break;
+        }
+        let pend = (pbase + k).min(hi);
+        // Terminate if a misspeculation happened at or before this period.
+        let f = flag.load(Ordering::SeqCst);
+        if f != i64::MAX && (f - lo) / k <= period as i64 {
+            break;
+        }
+        // This worker's iterations within the period (cyclic assignment).
+        let mut iter = pbase + ((w as i64 - (pbase - lo) % w_count as i64).rem_euclid(w_count as i64));
+        while iter < pend {
+            let f = flag.load(Ordering::SeqCst);
+            if f != i64::MAX && (f - lo) / k <= period as i64 {
+                break 'periods;
+            }
+            let t0 = Instant::now();
+            let step = (|| -> Result<(), Trap> {
+                interp.rt.begin_iteration(iter, (iter - pbase) as u64)?;
+                interp.call_function(body, &[Val::Int(iter)])?;
+                interp.rt.end_iteration()
+            })();
+            interp.rt.stats.body_ns += t0.elapsed().as_nanos() as u64;
+            if let Err(trap) = step {
+                let kind = match trap {
+                    Trap::Misspec(m) => m.kind,
+                    // Faults under speculation are treated as
+                    // misspeculation: sequential re-execution repairs
+                    // them, or reproduces a genuine program error.
+                    _ => MisspecKind::Fault,
+                };
+                flag.fetch_min(iter, Ordering::SeqCst);
+                let _ = tx.send(Msg::Misspec { iter, kind });
+                break 'periods;
+            }
+            iter += w_count as i64;
+        }
+        // Contribute to this period's checkpoint object.
+        let t0 = Instant::now();
+        let io = interp.rt.take_io();
+        let contrib = collect_contribution(w, period, &interp.mem, redux, io);
+        WorkerRuntime::normalize_shadow(&mut interp.mem);
+        interp.rt.stats.checkpoint_ns += t0.elapsed().as_nanos() as u64;
+        interp.rt.stats.contrib_pages +=
+            (contrib.shadow_pages.len() + contrib.priv_pages.len()) as u64;
+        let _ = tx.send(Msg::Contribution(Box::new(contrib)));
+        period += 1;
+    }
+    let mut stats = interp.rt.stats;
+    stats.insts = interp.stats.insts;
+    let _ = tx.send(Msg::Done { stats });
+}
+
+impl RuntimeIface for MainRuntime {
+    fn h_alloc(
+        &mut self,
+        heap: Heap,
+        size: u64,
+        _mem: &mut AddressSpace,
+        _site: (FuncId, InstId),
+    ) -> Result<u64, Trap> {
+        self.heaps.alloc(heap, size)
+    }
+
+    fn h_free(&mut self, heap: Heap, addr: u64, _mem: &mut AddressSpace) -> Result<(), Trap> {
+        self.heaps.free(heap, addr)
+    }
+
+    fn check_heap(&mut self, heap: Heap, addr: u64) -> Result<(), Trap> {
+        if addr == 0 || heap.contains(addr) {
+            Ok(())
+        } else {
+            Err(Trap::misspec(
+                MisspecKind::Separation,
+                format!("pointer {addr:#x} is not in heap `{heap}` (sequential)"),
+            ))
+        }
+    }
+
+    fn private_read(&mut self, _a: u64, _s: u64, _m: &mut AddressSpace) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn private_write(&mut self, _a: u64, _s: u64, _m: &mut AddressSpace) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn predict(&mut self, _ok: bool) -> Result<(), Trap> {
+        Ok(()) // sequential execution is non-speculative
+    }
+
+    fn misspec(&mut self) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn output(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    fn redux_register(
+        &mut self,
+        op: ReduxOp,
+        addr: u64,
+        size: u64,
+        _mem: &mut AddressSpace,
+    ) -> Result<(), Trap> {
+        if !size.is_multiple_of(8) {
+            return Err(Trap::Internal(format!(
+                "reduction object size {size} is not a multiple of 8"
+            )));
+        }
+        if !self.redux.contains(&(op, addr, size)) {
+            self.redux.retain(|&(_, a, _)| a != addr);
+            self.redux.push((op, addr, size));
+        }
+        Ok(())
+    }
+
+    fn parallel_invoke(
+        &mut self,
+        module: &Module,
+        global_addrs: &[u64],
+        plan: PlanEntry,
+        lo: i64,
+        hi: i64,
+        mem: &mut AddressSpace,
+    ) -> Result<(), Trap> {
+        if hi <= lo {
+            return Ok(());
+        }
+        self.stats.invocations += 1;
+        self.events.push(EngineEvent::Invoke { lo, hi });
+        let mut next = lo;
+        while next < hi {
+            match self.span(module, global_addrs, plan.body, next, hi, mem)? {
+                SpanOutcome::Complete => next = hi,
+                SpanOutcome::Misspec { iter, resume_base } => {
+                    self.recover(module, global_addrs, plan.recovery, resume_base, iter, mem)?;
+                    next = iter + 1;
+                    if next < hi {
+                        self.events.push(EngineEvent::ParallelResumed { at: next });
+                    }
+                }
+            }
+        }
+        self.events.push(EngineEvent::InvokeDone);
+        Ok(())
+    }
+}
+
+/// The recovery runtime: non-speculative sequential execution over the
+/// shared heaps; checks are inert, output is direct.
+#[derive(Debug)]
+struct RecoveryRuntime {
+    heaps: SharedHeaps,
+    out: Vec<u8>,
+}
+
+impl RuntimeIface for RecoveryRuntime {
+    fn h_alloc(
+        &mut self,
+        heap: Heap,
+        size: u64,
+        _mem: &mut AddressSpace,
+        _site: (FuncId, InstId),
+    ) -> Result<u64, Trap> {
+        self.heaps.alloc(heap, size)
+    }
+
+    fn h_free(&mut self, heap: Heap, addr: u64, _mem: &mut AddressSpace) -> Result<(), Trap> {
+        self.heaps.free(heap, addr)
+    }
+
+    fn check_heap(&mut self, _heap: Heap, _addr: u64) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn private_read(&mut self, _a: u64, _s: u64, _m: &mut AddressSpace) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn private_write(&mut self, _a: u64, _s: u64, _m: &mut AddressSpace) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn predict(&mut self, _ok: bool) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn misspec(&mut self) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn output(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+}
+
+/// A sequential plan runtime: executes `parallel_invoke` regions one
+/// iteration at a time with the *recovery* body (original semantics). Used
+/// to run transformed programs without the engine — e.g. to validate the
+/// transformation or measure single-threaded behavior.
+#[derive(Debug)]
+pub struct SequentialPlanRuntime {
+    /// Shared logical-heap allocators.
+    pub heaps: SharedHeaps,
+    out: Vec<u8>,
+}
+
+impl SequentialPlanRuntime {
+    /// Build from a loaded image.
+    pub fn new(image: &ProgramImage) -> SequentialPlanRuntime {
+        SequentialPlanRuntime {
+            heaps: SharedHeaps::new(image),
+            out: Vec::new(),
+        }
+    }
+
+    /// Take the output bytes.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+impl RuntimeIface for SequentialPlanRuntime {
+    fn h_alloc(
+        &mut self,
+        heap: Heap,
+        size: u64,
+        _mem: &mut AddressSpace,
+        _site: (FuncId, InstId),
+    ) -> Result<u64, Trap> {
+        self.heaps.alloc(heap, size)
+    }
+
+    fn h_free(&mut self, heap: Heap, addr: u64, _mem: &mut AddressSpace) -> Result<(), Trap> {
+        self.heaps.free(heap, addr)
+    }
+
+    fn check_heap(&mut self, heap: Heap, addr: u64) -> Result<(), Trap> {
+        if addr == 0 || heap.contains(addr) {
+            Ok(())
+        } else {
+            Err(Trap::misspec(
+                MisspecKind::Separation,
+                format!("pointer {addr:#x} is not in heap `{heap}`"),
+            ))
+        }
+    }
+
+    fn private_read(&mut self, _a: u64, _s: u64, _m: &mut AddressSpace) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn private_write(&mut self, _a: u64, _s: u64, _m: &mut AddressSpace) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn predict(&mut self, _ok: bool) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn misspec(&mut self) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn output(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    fn parallel_invoke(
+        &mut self,
+        module: &Module,
+        global_addrs: &[u64],
+        plan: PlanEntry,
+        lo: i64,
+        hi: i64,
+        mem: &mut AddressSpace,
+    ) -> Result<(), Trap> {
+        let rt = RecoveryRuntime {
+            heaps: self.heaps.clone(),
+            out: Vec::new(),
+        };
+        let taken = std::mem::take(mem);
+        let mut interp = Interp::with_mem(module, taken, global_addrs.to_vec(), NopHooks, rt);
+        let mut result = Ok(());
+        for iter in lo..hi {
+            if let Err(e) = interp.call_function(plan.recovery, &[Val::Int(iter)]) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.out.extend(std::mem::take(&mut interp.rt.out));
+        *mem = interp.mem;
+        result
+    }
+}

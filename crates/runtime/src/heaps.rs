@@ -1,0 +1,153 @@
+//! Shared logical-heap allocation state.
+//!
+//! The main process and recovery execution allocate from these shared
+//! allocators; addresses stay valid across the sequential/parallel
+//! boundary because the allocators are keyed by the fixed heap address
+//! ranges (replacement transparency, §3.2). Workers never allocate from
+//! the shared heaps — their only in-loop allocations are short-lived and
+//! come from per-worker arenas (see [`worker_shortlived_arena`]).
+
+use parking_lot::Mutex;
+use privateer_ir::Heap;
+use privateer_vm::interp::ProgramImage;
+use privateer_vm::{RegionAllocator, Trap, PAGE_SIZE};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Span of the allocator-managed part of each heap (1 TiB; the address
+/// layout would allow 16 TiB).
+pub const HEAP_SPAN: u64 = 1 << 40;
+
+/// Start of the per-worker short-lived arenas (above the shared range).
+const SL_ARENA_BASE_OFF: u64 = 1 << 41;
+/// Size of one worker's short-lived arena.
+pub const SL_ARENA_SPAN: u64 = 1 << 32;
+
+/// The short-lived arena allocator for worker `w`.
+///
+/// Arenas are disjoint between workers so that concurrently allocated
+/// short-lived objects never collide even though every worker computes
+/// addresses independently.
+pub fn worker_shortlived_arena(w: usize) -> RegionAllocator {
+    let base = Heap::ShortLived.base() + SL_ARENA_BASE_OFF + (w as u64) * SL_ARENA_SPAN;
+    RegionAllocator::new(base, base + SL_ARENA_SPAN)
+}
+
+/// Thread-safe shared allocators, one per logical heap.
+#[derive(Debug, Clone)]
+pub struct SharedHeaps {
+    inner: Arc<Mutex<HashMap<Heap, RegionAllocator>>>,
+}
+
+impl SharedHeaps {
+    /// Allocators starting after the image's statically placed globals.
+    pub fn new(image: &ProgramImage) -> SharedHeaps {
+        let mut map = HashMap::new();
+        for h in Heap::ALL {
+            let start = image
+                .heap_start
+                .get(&h)
+                .copied()
+                .unwrap_or(h.base() + PAGE_SIZE);
+            map.insert(h, RegionAllocator::new(start, h.base() + HEAP_SPAN));
+        }
+        SharedHeaps {
+            inner: Arc::new(Mutex::new(map)),
+        }
+    }
+
+    /// Allocate from a heap.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::OutOfMemory`] when the heap range is exhausted.
+    pub fn alloc(&self, heap: Heap, size: u64) -> Result<u64, Trap> {
+        self.inner
+            .lock()
+            .get_mut(&heap)
+            .expect("all heaps present")
+            .alloc(size)
+            .map_err(|_| Trap::OutOfMemory(heap))
+    }
+
+    /// Free into a heap.
+    ///
+    /// # Errors
+    ///
+    /// Traps on a free of an unallocated address.
+    pub fn free(&self, heap: Heap, addr: u64) -> Result<(), Trap> {
+        self.inner
+            .lock()
+            .get_mut(&heap)
+            .expect("all heaps present")
+            .free(addr)
+            .map_err(|e| Trap::AllocError(e.to_string()))
+    }
+
+    /// Highest address handed out in `heap` (exclusive) — the upper bound
+    /// of the range checkpoints need to scan.
+    pub fn high_water(&self, heap: Heap) -> u64 {
+        self.inner.lock().get(&heap).expect("all heaps present").high_water()
+    }
+
+    /// Number of live allocations in `heap`.
+    pub fn live_count(&self, heap: Heap) -> u64 {
+        self.inner.lock().get(&heap).expect("all heaps present").live_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_ir::Module;
+    use privateer_vm::load_module;
+
+    fn heaps() -> SharedHeaps {
+        let m = Module::new("t");
+        SharedHeaps::new(&load_module(&m))
+    }
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let h = heaps();
+        let p = h.alloc(Heap::Private, 100).unwrap();
+        assert!(Heap::Private.contains(p));
+        assert_eq!(h.live_count(Heap::Private), 1);
+        h.free(Heap::Private, p).unwrap();
+        assert_eq!(h.live_count(Heap::Private), 0);
+        assert!(h.free(Heap::Private, p).is_err());
+    }
+
+    #[test]
+    fn respects_static_global_reservations() {
+        let mut m = Module::new("t");
+        let g = m.add_global("pathcost", 4096);
+        m.global_mut(g).heap = Some(Heap::Private);
+        let image = load_module(&m);
+        let h = SharedHeaps::new(&image);
+        let p = h.alloc(Heap::Private, 8).unwrap();
+        let gaddr = image.global_addrs[g.index()];
+        assert!(p >= gaddr + 4096, "dynamic allocation overlaps global");
+    }
+
+    #[test]
+    fn worker_arenas_are_disjoint_and_tagged() {
+        let mut a0 = worker_shortlived_arena(0);
+        let mut a1 = worker_shortlived_arena(1);
+        let p0 = a0.alloc(64).unwrap();
+        let p1 = a1.alloc(64).unwrap();
+        assert!(Heap::ShortLived.contains(p0));
+        assert!(Heap::ShortLived.contains(p1));
+        assert!(p0.abs_diff(p1) >= SL_ARENA_SPAN - 64);
+    }
+
+    #[test]
+    fn shared_clone_shares_state() {
+        let h = heaps();
+        let h2 = h.clone();
+        let p = h.alloc(Heap::Redux, 8).unwrap();
+        let q = h2.alloc(Heap::Redux, 8).unwrap();
+        assert_ne!(p, q);
+        assert_eq!(h.live_count(Heap::Redux), 2);
+    }
+}

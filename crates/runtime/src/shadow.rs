@@ -1,0 +1,193 @@
+//! Shadow-heap privacy metadata: the Table 2 transition rules.
+//!
+//! Each byte of private memory has one byte of metadata in the shadow heap
+//! (at `addr | SHADOW_BIT`). Codes:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | live-in (untouched this invocation) |
+//! | 1 | old-write (written before the last checkpoint) |
+//! | 2 | read-live-in (read; appears live-in, pending phase-2 validation) |
+//! | 3+(i−i₀) | written in iteration i, i₀ = first iteration after the last checkpoint |
+//!
+//! Timestamps fit a byte only if checkpoints occur at least every
+//! [`MAX_PERIOD`] iterations, which the engine enforces (the paper uses the
+//! same 253-iteration bound).
+
+use privateer_vm::{MisspecKind, Trap};
+
+/// Metadata code: live-in value, untouched since the invocation began.
+pub const LIVE_IN: u8 = 0;
+/// Metadata code: written before the most recent checkpoint.
+pub const OLD_WRITE: u8 = 1;
+/// Metadata code: read while apparently live-in; validated at phase 2.
+pub const READ_LIVE_IN: u8 = 2;
+/// First timestamp code.
+pub const TS_BASE: u8 = 3;
+/// Maximum iterations between checkpoints (so `3 + (i - i0) <= 255`).
+pub const MAX_PERIOD: u64 = 253;
+
+/// The timestamp code for the `n`-th iteration after a checkpoint.
+///
+/// # Panics
+///
+/// Panics if `n >= MAX_PERIOD` (the engine must checkpoint first).
+pub fn ts_code(n: u64) -> u8 {
+    assert!(n < MAX_PERIOD, "checkpoint period overflow: {n}");
+    TS_BASE + n as u8
+}
+
+/// Direction of a private access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// `private_read`.
+    Read,
+    /// `private_write`.
+    Write,
+}
+
+/// Apply one Table 2 transition for a private access to a byte whose
+/// metadata is `before`, in the iteration with timestamp `cur`.
+///
+/// Returns the metadata after the access.
+///
+/// # Errors
+///
+/// Traps with a privacy misspeculation exactly in the cases of Table 2:
+/// reading an old write, reading an earlier iteration's write, or the
+/// conservative write-after-read-live-in false positive.
+pub fn transition(access: Access, before: u8, cur: u8) -> Result<u8, Trap> {
+    debug_assert!(cur >= TS_BASE);
+    match access {
+        Access::Read => match before {
+            LIVE_IN | READ_LIVE_IN => Ok(READ_LIVE_IN),
+            OLD_WRITE => Err(privacy(before, cur, "read of a pre-checkpoint write")),
+            b if b == cur => Ok(cur), // intra-iteration flow
+            _ => Err(privacy(
+                before,
+                cur,
+                "read of a value written in an earlier iteration",
+            )),
+        },
+        Access::Write => match before {
+            LIVE_IN | OLD_WRITE => Ok(cur),
+            READ_LIVE_IN => Err(privacy(
+                before,
+                cur,
+                "write after read-live-in (conservative)",
+            )),
+            _ => Ok(cur), // overwrite of a recent write (2 < a <= cur)
+        },
+    }
+}
+
+fn privacy(before: u8, cur: u8, why: &str) -> Trap {
+    Trap::misspec(
+        MisspecKind::Privacy,
+        format!("{why} (metadata {before}, current timestamp {cur})"),
+    )
+}
+
+/// Metadata normalization at a checkpoint: timestamps become
+/// [`OLD_WRITE`]; validated live-in reads return to [`LIVE_IN`].
+pub fn normalize(meta: u8) -> u8 {
+    match meta {
+        LIVE_IN => LIVE_IN,
+        OLD_WRITE => OLD_WRITE,
+        READ_LIVE_IN => LIVE_IN,
+        _ => OLD_WRITE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: u8 = TS_BASE + 10; // current-iteration timestamp in tests
+
+    fn read(before: u8) -> Result<u8, Trap> {
+        transition(Access::Read, before, B)
+    }
+
+    fn write(before: u8) -> Result<u8, Trap> {
+        transition(Access::Write, before, B)
+    }
+
+    /// The exact content of Table 2.
+    #[test]
+    fn table2_reads() {
+        assert_eq!(read(LIVE_IN).unwrap(), READ_LIVE_IN); // read a live-in value
+        assert!(read(OLD_WRITE).is_err()); // loop-carried flow dependence
+        assert_eq!(read(READ_LIVE_IN).unwrap(), READ_LIVE_IN); // read live-in again
+        assert!(read(TS_BASE + 3).is_err()); // 2 < a < B: loop-carried flow
+        assert_eq!(read(B).unwrap(), B); // intra-iteration (private) flow
+    }
+
+    #[test]
+    fn table2_writes() {
+        assert_eq!(write(LIVE_IN).unwrap(), B); // overwrite a live-in value
+        assert_eq!(write(OLD_WRITE).unwrap(), B); // overwrite an old write
+        assert!(write(READ_LIVE_IN).is_err()); // conservative false positive
+        assert_eq!(write(TS_BASE + 2).unwrap(), B); // overwrite a recent write
+        assert_eq!(write(B).unwrap(), B); // overwrite own write
+    }
+
+    #[test]
+    fn errors_are_privacy_misspecs() {
+        let e = read(OLD_WRITE).unwrap_err();
+        assert!(matches!(
+            e,
+            Trap::Misspec(privateer_vm::Misspec {
+                kind: MisspecKind::Privacy,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn normalize_rules() {
+        assert_eq!(normalize(LIVE_IN), LIVE_IN);
+        assert_eq!(normalize(OLD_WRITE), OLD_WRITE);
+        assert_eq!(normalize(READ_LIVE_IN), LIVE_IN);
+        for ts in TS_BASE..=255 {
+            assert_eq!(normalize(ts), OLD_WRITE);
+        }
+    }
+
+    #[test]
+    fn ts_code_range() {
+        assert_eq!(ts_code(0), 3);
+        assert_eq!(ts_code(252), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint period overflow")]
+    fn ts_code_overflow_panics() {
+        let _ = ts_code(MAX_PERIOD);
+    }
+
+    /// Soundness sketch: any read of a byte written in a *different,
+    /// earlier* iteration (since the last checkpoint) must trap.
+    #[test]
+    fn cross_iteration_flow_always_caught() {
+        for w in 0..50u64 {
+            for r in (w + 1)..50u64 {
+                let meta = transition(Access::Write, LIVE_IN, ts_code(w)).unwrap();
+                let res = transition(Access::Read, meta, ts_code(r));
+                assert!(res.is_err(), "write@{w} read@{r} escaped");
+            }
+        }
+    }
+
+    /// Intra-iteration flow and write-first patterns never trap.
+    #[test]
+    fn private_patterns_pass() {
+        for i in 0..50u64 {
+            let ts = ts_code(i);
+            // write then read, same iteration
+            let m = transition(Access::Write, if i == 0 { LIVE_IN } else { OLD_WRITE }, ts).unwrap();
+            let m = transition(Access::Read, m, ts).unwrap();
+            assert_eq!(m, ts);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The runtime interface the interpreter calls for intrinsics with runtime
+//! support, plus a basic sequential implementation.
+//!
+//! The speculative implementation (workers, shadow metadata, checkpoints)
+//! lives in the `privateer-runtime` crate; this trait is the seam between
+//! the interpreter and that machinery.
+
+use crate::mem::{AddressSpace, RegionAllocator};
+use crate::trap::{MisspecKind, Trap};
+use privateer_ir::{FuncId, Heap, InstId, Module, PlanEntry, ReduxOp};
+use std::collections::HashMap;
+
+/// Services the interpreter requests from the runtime system.
+///
+/// One implementation exists per execution mode: sequential
+/// ([`BasicRuntime`]), speculative worker, and recovery (both in
+/// `privateer-runtime`).
+pub trait RuntimeIface {
+    /// `h_alloc(size)` from a logical heap (§4.4). `site` is the static
+    /// allocation site for bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Traps with [`Trap::OutOfMemory`] when the heap range is exhausted.
+    fn h_alloc(
+        &mut self,
+        heap: Heap,
+        size: u64,
+        mem: &mut AddressSpace,
+        site: (FuncId, InstId),
+    ) -> Result<u64, Trap>;
+
+    /// `h_dealloc(ptr)` into a logical heap (§4.4).
+    ///
+    /// # Errors
+    ///
+    /// Traps on frees of unallocated addresses.
+    fn h_free(&mut self, heap: Heap, addr: u64, mem: &mut AddressSpace) -> Result<(), Trap>;
+
+    /// Separation check (§4.5): validate that `addr` lies in `heap`.
+    ///
+    /// # Errors
+    ///
+    /// Traps with a separation misspeculation on tag mismatch.
+    fn check_heap(&mut self, heap: Heap, addr: u64) -> Result<(), Trap>;
+
+    /// Privacy check before a load of `size` bytes (§4.6).
+    ///
+    /// # Errors
+    ///
+    /// Traps with a privacy misspeculation when the fast phase detects a
+    /// cross-iteration flow dependence.
+    fn private_read(&mut self, addr: u64, size: u64, mem: &mut AddressSpace) -> Result<(), Trap>;
+
+    /// Privacy check before a store of `size` bytes (§4.6).
+    ///
+    /// # Errors
+    ///
+    /// Traps with a privacy misspeculation in the conservative
+    /// write-after-read-live-in case (Table 2).
+    fn private_write(&mut self, addr: u64, size: u64, mem: &mut AddressSpace) -> Result<(), Trap>;
+
+    /// Value-prediction check: `ok` is the predicted condition's outcome.
+    ///
+    /// # Errors
+    ///
+    /// Traps with a prediction misspeculation when `ok` is false (in
+    /// speculative modes).
+    fn predict(&mut self, ok: bool) -> Result<(), Trap>;
+
+    /// Unconditional misspeculation report.
+    ///
+    /// # Errors
+    ///
+    /// Always traps in speculative modes.
+    fn misspec(&mut self) -> Result<(), Trap>;
+
+    /// Program output (possibly deferred until commit in speculative
+    /// modes).
+    fn output(&mut self, bytes: &[u8]);
+
+    /// `redux_register(ptr, size)`: declare a reduction object (§3.2). The
+    /// default accepts and ignores the registration (sequential execution
+    /// needs no expansion).
+    ///
+    /// # Errors
+    ///
+    /// Implementations may trap on malformed registrations.
+    fn redux_register(
+        &mut self,
+        op: ReduxOp,
+        addr: u64,
+        size: u64,
+        mem: &mut AddressSpace,
+    ) -> Result<(), Trap> {
+        let _ = (op, addr, size, mem);
+        Ok(())
+    }
+
+    /// `parallel_invoke(lo, hi)`: run the outlined loop body over
+    /// iterations `lo..hi` (§5). The speculative DOALL engine implements
+    /// this; runtimes without an engine trap.
+    ///
+    /// # Errors
+    ///
+    /// The default always traps with [`Trap::Internal`].
+    fn parallel_invoke(
+        &mut self,
+        module: &Module,
+        global_addrs: &[u64],
+        plan: PlanEntry,
+        lo: i64,
+        hi: i64,
+        mem: &mut AddressSpace,
+    ) -> Result<(), Trap> {
+        let _ = (module, global_addrs, plan, lo, hi, mem);
+        Err(Trap::Internal(
+            "this runtime does not support parallel invocation".into(),
+        ))
+    }
+}
+
+/// How [`BasicRuntime`] treats failed speculation checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMode {
+    /// Failed checks trap (useful for testing transformed code
+    /// sequentially: a failure indicates a transformation bug or a genuine
+    /// misspeculation).
+    Strict,
+    /// Failed `predict`/`misspec` checks are ignored (used for
+    /// non-speculative re-execution, where the sequential order makes
+    /// speculation irrelevant).
+    Lenient,
+}
+
+/// A sequential runtime: real logical-heap allocation, direct output,
+/// no shadow metadata.
+#[derive(Debug)]
+pub struct BasicRuntime {
+    mode: CheckMode,
+    allocators: HashMap<Heap, RegionAllocator>,
+    out: Vec<u8>,
+}
+
+impl BasicRuntime {
+    /// A runtime that traps on failed checks.
+    pub fn strict() -> BasicRuntime {
+        BasicRuntime::with_mode(CheckMode::Strict)
+    }
+
+    /// A runtime that ignores failed prediction checks.
+    pub fn lenient() -> BasicRuntime {
+        BasicRuntime::with_mode(CheckMode::Lenient)
+    }
+
+    /// Build with an explicit [`CheckMode`].
+    pub fn with_mode(mode: CheckMode) -> BasicRuntime {
+        BasicRuntime {
+            mode,
+            allocators: HashMap::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Bytes printed so far.
+    pub fn output_bytes(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Take the output buffer, leaving it empty.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out)
+    }
+
+    fn allocator(&mut self, heap: Heap) -> &mut RegionAllocator {
+        self.allocators.entry(heap).or_insert_with(|| {
+            // Skip the first page of each heap so "heap base" is never a
+            // valid object address.
+            RegionAllocator::new(heap.base() + crate::mem::PAGE_SIZE, heap.base() + (1 << 40))
+        })
+    }
+}
+
+impl RuntimeIface for BasicRuntime {
+    fn h_alloc(
+        &mut self,
+        heap: Heap,
+        size: u64,
+        _mem: &mut AddressSpace,
+        _site: (FuncId, InstId),
+    ) -> Result<u64, Trap> {
+        self.allocator(heap)
+            .alloc(size)
+            .map_err(|_| Trap::OutOfMemory(heap))
+    }
+
+    fn h_free(&mut self, heap: Heap, addr: u64, _mem: &mut AddressSpace) -> Result<(), Trap> {
+        self.allocator(heap)
+            .free(addr)
+            .map_err(|e| Trap::AllocError(e.to_string()))
+    }
+
+    fn check_heap(&mut self, heap: Heap, addr: u64) -> Result<(), Trap> {
+        // Null names no object; separation is vacuous (the paper's checks
+        // likewise pass NULL through — e.g. the dequeue path guarded by
+        // value prediction).
+        if addr == 0 || heap.contains(addr) || self.mode == CheckMode::Lenient {
+            Ok(())
+        } else {
+            Err(Trap::misspec(
+                MisspecKind::Separation,
+                format!("pointer {addr:#x} is not in heap `{heap}`"),
+            ))
+        }
+    }
+
+    fn private_read(&mut self, _addr: u64, _size: u64, _mem: &mut AddressSpace) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn private_write(&mut self, _addr: u64, _size: u64, _mem: &mut AddressSpace) -> Result<(), Trap> {
+        Ok(())
+    }
+
+    fn predict(&mut self, ok: bool) -> Result<(), Trap> {
+        if ok || self.mode == CheckMode::Lenient {
+            Ok(())
+        } else {
+            Err(Trap::misspec(MisspecKind::Prediction, "predicted condition was false"))
+        }
+    }
+
+    fn misspec(&mut self) -> Result<(), Trap> {
+        if self.mode == CheckMode::Lenient {
+            Ok(())
+        } else {
+            Err(Trap::misspec(MisspecKind::Explicit, "explicit misspec()"))
+        }
+    }
+
+    fn output(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_lands_in_heap_range() {
+        let mut rt = BasicRuntime::strict();
+        let mut mem = AddressSpace::new();
+        let site = (FuncId::new(0), InstId::new(0));
+        let p = rt.h_alloc(Heap::Private, 64, &mut mem, site).unwrap();
+        assert!(Heap::Private.contains(p));
+        rt.check_heap(Heap::Private, p).unwrap();
+        assert!(rt.check_heap(Heap::ReadOnly, p).is_err());
+        rt.h_free(Heap::Private, p, &mut mem).unwrap();
+    }
+
+    #[test]
+    fn null_passes_separation() {
+        let mut rt = BasicRuntime::strict();
+        rt.check_heap(Heap::ShortLived, 0).unwrap();
+    }
+
+    #[test]
+    fn strict_vs_lenient_predict() {
+        let mut strict = BasicRuntime::strict();
+        assert!(strict.predict(false).is_err());
+        assert!(strict.predict(true).is_ok());
+        let mut lenient = BasicRuntime::lenient();
+        assert!(lenient.predict(false).is_ok());
+        assert!(lenient.misspec().is_ok());
+        assert!(strict.misspec().is_err());
+    }
+
+    #[test]
+    fn output_accumulates() {
+        let mut rt = BasicRuntime::strict();
+        rt.output(b"a");
+        rt.output(b"bc");
+        assert_eq!(rt.output_bytes(), b"abc");
+        assert_eq!(rt.take_output(), b"abc");
+        assert!(rt.output_bytes().is_empty());
+    }
+
+    #[test]
+    fn distinct_heaps_use_distinct_ranges() {
+        let mut rt = BasicRuntime::strict();
+        let mut mem = AddressSpace::new();
+        let site = (FuncId::new(0), InstId::new(0));
+        let p = rt.h_alloc(Heap::Private, 8, &mut mem, site).unwrap();
+        let q = rt.h_alloc(Heap::ShortLived, 8, &mut mem, site).unwrap();
+        assert_ne!(p >> 44, q >> 44);
+    }
+}

@@ -1,0 +1,117 @@
+//! Runtime values.
+
+use privateer_ir::Type;
+use std::fmt;
+
+/// A runtime register value.
+///
+/// Integers, booleans and pointers are carried as `Int` (pointers are
+/// addresses in the simulated space, reinterpreted as `i64` bits); floats as
+/// `Float`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    /// Integer / boolean / pointer payload.
+    Int(i64),
+    /// `f64` payload.
+    Float(f64),
+}
+
+impl Val {
+    /// A pointer value.
+    pub fn ptr(addr: u64) -> Val {
+        Val::Int(addr as i64)
+    }
+
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a float.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Val::Int(v) => v,
+            Val::Float(f) => panic!("expected integer value, found float {f}"),
+        }
+    }
+
+    /// The pointer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a float.
+    pub fn as_ptr(self) -> u64 {
+        self.as_int() as u64
+    }
+
+    /// The float payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is an integer.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Val::Float(f) => f,
+            Val::Int(v) => panic!("expected float value, found integer {v}"),
+        }
+    }
+
+    /// The boolean payload (any nonzero integer is `true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a float.
+    pub fn as_bool(self) -> bool {
+        self.as_int() != 0
+    }
+
+    /// Truncate an integer value to the in-memory width of `ty`, preserving
+    /// the sign-extended register convention (narrow integers live
+    /// sign-extended in registers, like C's integer promotion).
+    pub fn normalize(self, ty: Type) -> Val {
+        match (self, ty) {
+            (Val::Int(v), Type::I1) => Val::Int((v & 1 != 0) as i64),
+            (Val::Int(v), Type::I8) => Val::Int(v as i8 as i64),
+            (Val::Int(v), Type::I32) => Val::Int(v as i32 as i64),
+            (v, _) => v,
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int(v) => write!(f, "{v}"),
+            Val::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Val::Int(5).as_int(), 5);
+        assert_eq!(Val::ptr(0xFFFF_FFFF_FFFF_FFFF).as_ptr(), u64::MAX);
+        assert_eq!(Val::Float(1.5).as_f64(), 1.5);
+        assert!(Val::Int(2).as_bool());
+        assert!(!Val::Int(0).as_bool());
+    }
+
+    #[test]
+    fn normalize_widths() {
+        assert_eq!(Val::Int(300).normalize(Type::I8), Val::Int(44)); // 300 wraps to 44
+        assert_eq!(Val::Int(-1).normalize(Type::I32), Val::Int(-1));
+        assert_eq!(Val::Int(i64::from(u32::MAX)).normalize(Type::I32), Val::Int(-1));
+        assert_eq!(Val::Int(3).normalize(Type::I1), Val::Int(1));
+        assert_eq!(Val::Int(2).normalize(Type::I1), Val::Int(0));
+        assert_eq!(Val::Float(2.0).normalize(Type::F64), Val::Float(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected integer")]
+    fn type_confusion_panics() {
+        Val::Float(1.0).as_int();
+    }
+}

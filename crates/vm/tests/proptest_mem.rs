@@ -1,0 +1,106 @@
+//! Property tests for the simulated address space: equivalence with a
+//! naive byte-map model, and copy-on-write fork isolation.
+
+use privateer_vm::{AddressSpace, PAGE_SIZE};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum MemOp {
+    Write { addr: u64, bytes: Vec<u8> },
+    Fill { addr: u64, len: u64, byte: u8 },
+    Read { addr: u64, len: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = MemOp> {
+    // Cluster addresses near page boundaries to stress the split logic.
+    let addr = (0u64..6, 0u64..(2 * PAGE_SIZE)).prop_map(|(p, off)| p * PAGE_SIZE + off / 2);
+    prop_oneof![
+        (addr.clone(), prop::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(addr, bytes)| MemOp::Write { addr, bytes }),
+        (addr.clone(), 1u64..300, any::<u8>())
+            .prop_map(|(addr, len, byte)| MemOp::Fill { addr, len, byte }),
+        (addr, 1usize..64).prop_map(|(addr, len)| MemOp::Read { addr, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The paged space behaves exactly like a flat byte map with
+    /// zero-default reads.
+    #[test]
+    fn matches_naive_model(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut mem = AddressSpace::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                MemOp::Write { addr, bytes } => {
+                    mem.write_bytes(addr, &bytes);
+                    for (i, &b) in bytes.iter().enumerate() {
+                        model.insert(addr + i as u64, b);
+                    }
+                }
+                MemOp::Fill { addr, len, byte } => {
+                    mem.fill(addr, len, byte);
+                    for i in 0..len {
+                        model.insert(addr + i, byte);
+                    }
+                }
+                MemOp::Read { addr, len } => {
+                    let mut buf = vec![0u8; len];
+                    mem.read_bytes(addr, &mut buf);
+                    for (i, &b) in buf.iter().enumerate() {
+                        let want = model.get(&(addr + i as u64)).copied().unwrap_or(0);
+                        prop_assert_eq!(b, want, "byte at {:#x}", addr + i as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forks are fully isolated in both directions, and `range_eq` agrees
+    /// with byte-level comparison.
+    #[test]
+    fn fork_isolation(
+        parent_writes in prop::collection::vec((0u64..0x4000, any::<u8>()), 1..30),
+        child_writes in prop::collection::vec((0u64..0x4000, any::<u8>()), 1..30),
+    ) {
+        let mut parent = AddressSpace::new();
+        for &(a, b) in &parent_writes {
+            parent.write_u8(a, b);
+        }
+        let snapshot: Vec<(u64, u8)> = (0..0x4000u64).step_by(97).map(|a| (a, parent.read_u8(a))).collect();
+
+        let mut child = parent.fork();
+        prop_assert!(parent.range_eq(&child, 0, 0x8000));
+        for &(a, b) in &child_writes {
+            child.write_u8(a, b.wrapping_add(1));
+        }
+        // Parent unchanged regardless of child writes.
+        for &(a, b) in &snapshot {
+            prop_assert_eq!(parent.read_u8(a), b);
+        }
+        // Parent writes after the fork are invisible to the child.
+        let probe = 0x3f00u64;
+        let before = child.read_u8(probe);
+        parent.write_u8(probe, before.wrapping_add(7));
+        prop_assert_eq!(child.read_u8(probe), before);
+    }
+
+    /// install_page + pages_in_range round-trip.
+    #[test]
+    fn page_round_trip(page_no in 0u64..16, fill in any::<u8>()) {
+        let mut mem = AddressSpace::new();
+        let base = page_no * PAGE_SIZE;
+        mem.fill(base, PAGE_SIZE, fill);
+        let pages = mem.pages_in_range(base, base + PAGE_SIZE);
+        if fill == 0 {
+            prop_assert!(pages.is_empty()); // zero-fill never materializes
+        } else {
+            prop_assert_eq!(pages.len(), 1);
+            prop_assert_eq!(pages[0].0, base);
+            prop_assert!(pages[0].1.iter().all(|&b| b == fill));
+        }
+    }
+}

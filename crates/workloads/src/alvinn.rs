@@ -1,0 +1,439 @@
+//! The `052.alvinn` kernel (SPEC): back-propagation training of a small
+//! feed-forward network.
+//!
+//! Per the paper (§6.1): the hot loop (over training examples, invoked
+//! once per epoch — many invocations) privatizes *stack-allocated arrays*
+//! reached through pointers (activations and net inputs, allocated in
+//! `main` and passed by reference through globals, defeating static
+//! analysis), and carries reductions on two arrays plus a scalar (the
+//! weight-delta accumulators and the epoch error).
+//!
+//! Substitution note (DESIGN.md): the paper's accumulators are
+//! floating-point; ours accumulate in fixed-point `i64`, which keeps the
+//! reduction exactly associative so parallel output is bit-identical to
+//! sequential output. The reduction *structure* (array expansion + merge)
+//! is identical.
+
+use crate::util::{for_loop, Xorshift};
+use privateer_ir::builder::FunctionBuilder;
+use privateer_ir::{CmpOp, FuncId, GlobalInit, Intrinsic, Module, Type, Value};
+
+/// Network and training sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Input units.
+    pub inputs: usize,
+    /// Hidden units.
+    pub hidden: usize,
+    /// Output units.
+    pub outputs: usize,
+    /// Training examples (hot-loop iterations).
+    pub examples: usize,
+    /// Epochs (parallel-region invocations).
+    pub epochs: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Train scale.
+    pub fn train() -> Params {
+        Params {
+            inputs: 12,
+            hidden: 8,
+            outputs: 4,
+            examples: 48,
+            epochs: 6,
+            seed: 31,
+        }
+    }
+
+    /// Ref scale.
+    pub fn reference() -> Params {
+        Params {
+            inputs: 16,
+            hidden: 10,
+            outputs: 4,
+            examples: 96,
+            epochs: 10,
+            seed: 32,
+        }
+    }
+}
+
+/// Fixed-point scale for the deterministic accumulators.
+const FIX: f64 = 1_000_000_000.0;
+/// Learning-rate numerator applied when deltas are folded into weights.
+const LR: f64 = 0.05;
+
+fn gen_inputs(p: &Params) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut rng = Xorshift(p.seed);
+    let xs: Vec<f64> = (0..p.examples * p.inputs)
+        .map(|_| rng.unit_f64() * 2.0 - 1.0)
+        .collect();
+    let ts: Vec<f64> = (0..p.examples * p.outputs)
+        .map(|_| rng.unit_f64())
+        .collect();
+    let w1: Vec<f64> = (0..p.inputs * p.hidden)
+        .map(|_| (rng.unit_f64() - 0.5) * 0.5)
+        .collect();
+    let w2: Vec<f64> = (0..p.hidden * p.outputs)
+        .map(|_| (rng.unit_f64() - 0.5) * 0.5)
+        .collect();
+    (xs, ts, w1, w2)
+}
+
+/// Build the IR program.
+#[allow(clippy::too_many_lines)]
+pub fn build(p: &Params) -> Module {
+    let (xs, ts, w1v, w2v) = gen_inputs(p);
+    let (ni, nh, no) = (p.inputs as i64, p.hidden as i64, p.outputs as i64);
+    let mut m = Module::new("alvinn");
+
+    let g_x = m.add_global_init("inputs", (xs.len() * 8) as u64, GlobalInit::F64s(xs));
+    let g_t = m.add_global_init("targets", (ts.len() * 8) as u64, GlobalInit::F64s(ts));
+    let g_w1 = m.add_global_init("w1", (w1v.len() * 8) as u64, GlobalInit::F64s(w1v));
+    let g_w2 = m.add_global_init("w2", (w2v.len() * 8) as u64, GlobalInit::F64s(w2v));
+    // Fixed-point reduction accumulators (two arrays + a scalar, §6.1).
+    let g_wd1 = m.add_global("wd1_fix", (p.inputs * p.hidden * 8) as u64);
+    let g_wd2 = m.add_global("wd2_fix", (p.hidden * p.outputs * 8) as u64);
+    let g_err = m.add_global("err_fix", 8);
+    // Pointer cells to the stack-allocated work arrays.
+    let g_hid = m.add_global("hid_ptr", 8);
+    let g_out = m.add_global("out_ptr", 8);
+    let g_onet = m.add_global("onet_ptr", 8);
+    let g_odelta = m.add_global("odelta_ptr", 8);
+
+    // fn sigmoid(x) = 1 / (1 + exp(-x))
+    let sigmoid_id = FuncId::new(0);
+    {
+        let mut b = FunctionBuilder::new("sigmoid", vec![Type::F64], Some(Type::F64));
+        let x = b.param(0);
+        let nx = b.fsub(Value::const_f64(0.0), x);
+        let e = b.intrinsic(Intrinsic::Exp, vec![nx]).unwrap();
+        let d = b.fadd(Value::const_f64(1.0), e);
+        let r = b.fdiv(Value::const_f64(1.0), d);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+    }
+
+    // fn train_epoch(): the hot loop over examples.
+    let train_id = FuncId::new(1);
+    {
+        let mut b = FunctionBuilder::new("train_epoch", vec![], None);
+        for_loop(&mut b, Value::const_i64(0), Value::const_i64(p.examples as i64), |b, ex| {
+            let hid = b.load(Type::Ptr, Value::Global(g_hid));
+            let out = b.load(Type::Ptr, Value::Global(g_out));
+            let onet = b.load(Type::Ptr, Value::Global(g_onet));
+            let odelta = b.load(Type::Ptr, Value::Global(g_odelta));
+            let xbase = b.mul(Type::I64, ex, Value::const_i64(ni));
+            let tbase = b.mul(Type::I64, ex, Value::const_i64(no));
+
+            // Forward, hidden layer: hid[j] = sigmoid(Σ_k x[k]·w1[k·H+j]).
+            for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
+                let slot = b.gep(hid, j, 8, 0);
+                b.store(Type::F64, Value::const_f64(0.0), slot);
+            });
+            for_loop(b, Value::const_i64(0), Value::const_i64(ni), |b, k| {
+                let xi = b.add(Type::I64, xbase, k);
+                let xslot = b.gep(Value::Global(g_x), xi, 8, 0);
+                let x = b.load(Type::F64, xslot);
+                let wrow = b.mul(Type::I64, k, Value::const_i64(nh));
+                for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
+                    let wi = b.add(Type::I64, wrow, j);
+                    let wslot = b.gep(Value::Global(g_w1), wi, 8, 0);
+                    let w = b.load(Type::F64, wslot);
+                    let hslot = b.gep(hid, j, 8, 0);
+                    let h = b.load(Type::F64, hslot);
+                    let xw = b.fmul(x, w);
+                    let h2 = b.fadd(h, xw);
+                    b.store(Type::F64, h2, hslot);
+                });
+            });
+            for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
+                let hslot = b.gep(hid, j, 8, 0);
+                let h = b.load(Type::F64, hslot);
+                let s = b.call(sigmoid_id, vec![h], Some(Type::F64)).unwrap();
+                b.store(Type::F64, s, hslot);
+            });
+
+            // Forward, output layer.
+            for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
+                let oslot = b.gep(onet, o, 8, 0);
+                b.store(Type::F64, Value::const_f64(0.0), oslot);
+            });
+            for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
+                let hslot = b.gep(hid, j, 8, 0);
+                let h = b.load(Type::F64, hslot);
+                let wrow = b.mul(Type::I64, j, Value::const_i64(no));
+                for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
+                    let wi = b.add(Type::I64, wrow, o);
+                    let wslot = b.gep(Value::Global(g_w2), wi, 8, 0);
+                    let w = b.load(Type::F64, wslot);
+                    let oslot = b.gep(onet, o, 8, 0);
+                    let acc = b.load(Type::F64, oslot);
+                    let hw = b.fmul(h, w);
+                    let a2 = b.fadd(acc, hw);
+                    b.store(Type::F64, a2, oslot);
+                });
+            });
+            for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
+                let oslot = b.gep(onet, o, 8, 0);
+                let v = b.load(Type::F64, oslot);
+                let s = b.call(sigmoid_id, vec![v], Some(Type::F64)).unwrap();
+                let dst = b.gep(out, o, 8, 0);
+                b.store(Type::F64, s, dst);
+            });
+
+            // Error + output deltas; err_fix += round(d² · FIX).
+            for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
+                let ti = b.add(Type::I64, tbase, o);
+                let tslot = b.gep(Value::Global(g_t), ti, 8, 0);
+                let t = b.load(Type::F64, tslot);
+                let oslot = b.gep(out, o, 8, 0);
+                let y = b.load(Type::F64, oslot);
+                let d = b.fsub(t, y);
+                let d2 = b.fmul(d, d);
+                let scaled = b.fmul(d2, Value::const_f64(FIX));
+                let fx = b.fptosi(scaled, Type::I64);
+                let e0 = b.load(Type::I64, Value::Global(g_err));
+                let e1 = b.add(Type::I64, e0, fx);
+                b.store(Type::I64, e1, Value::Global(g_err));
+                // delta = d · y · (1-y)
+                let one_y = b.fsub(Value::const_f64(1.0), y);
+                let yy = b.fmul(y, one_y);
+                let delta = b.fmul(d, yy);
+                let dslot = b.gep(odelta, o, 8, 0);
+                b.store(Type::F64, delta, dslot);
+            });
+
+            // Backward: wd2_fix[j·O+o] += round(delta[o]·hid[j]·FIX).
+            for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
+                let hslot = b.gep(hid, j, 8, 0);
+                let h = b.load(Type::F64, hslot);
+                let wrow = b.mul(Type::I64, j, Value::const_i64(no));
+                for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
+                    let dslot = b.gep(odelta, o, 8, 0);
+                    let d = b.load(Type::F64, dslot);
+                    let dh = b.fmul(d, h);
+                    let scaled = b.fmul(dh, Value::const_f64(FIX));
+                    let fx = b.fptosi(scaled, Type::I64);
+                    let wi = b.add(Type::I64, wrow, o);
+                    let wslot = b.gep(Value::Global(g_wd2), wi, 8, 0);
+                    let a = b.load(Type::I64, wslot);
+                    let a2 = b.add(Type::I64, a, fx);
+                    b.store(Type::I64, a2, wslot);
+                });
+            });
+            // Backward to inputs: wd1_fix[k·H+j] += round(x[k]·hdelta_j·FIX)
+            // with hdelta_j = hid[j]·(1-hid[j])·Σ_o delta[o]·w2[j·O+o],
+            // the inner sum kept in SSA (no extra private array needed).
+            for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
+                let hslot = b.gep(hid, j, 8, 0);
+                let h = b.load(Type::F64, hslot);
+                // Σ_o delta[o]·w2[j·O+o] via a memory cell on odelta's
+                // scratch tail? Keep it in the hidden array slot's
+                // recomputation: use onet[0..] is taken; use a plain
+                // sequential SSA loop:
+                let wrow = b.mul(Type::I64, j, Value::const_i64(no));
+                // SSA accumulation loop.
+                let pre = b.current_block();
+                let header = b.new_block();
+                let body_bb = b.new_block();
+                let exit = b.new_block();
+                let _ = pre;
+                let entry_block = b.current_block();
+                b.br(header);
+                b.switch_to(header);
+                let (o, o_phi) = b.phi(Type::I64);
+                let (sum, sum_phi) = b.phi(Type::F64);
+                b.add_phi_incoming(o_phi, entry_block, Value::const_i64(0));
+                b.add_phi_incoming(sum_phi, entry_block, Value::const_f64(0.0));
+                let c = b.icmp(CmpOp::Lt, o, Value::const_i64(no));
+                b.cond_br(c, body_bb, exit);
+                b.switch_to(body_bb);
+                let dslot = b.gep(odelta, o, 8, 0);
+                let d = b.load(Type::F64, dslot);
+                let wi = b.add(Type::I64, wrow, o);
+                let wslot = b.gep(Value::Global(g_w2), wi, 8, 0);
+                let w = b.load(Type::F64, wslot);
+                let dw = b.fmul(d, w);
+                let sum2 = b.fadd(sum, dw);
+                let o2 = b.add(Type::I64, o, Value::const_i64(1));
+                let latch = b.current_block();
+                b.add_phi_incoming(o_phi, latch, o2);
+                b.add_phi_incoming(sum_phi, latch, sum2);
+                b.br(header);
+                b.switch_to(exit);
+
+                let one_h = b.fsub(Value::const_f64(1.0), h);
+                let hh = b.fmul(h, one_h);
+                let hdelta = b.fmul(sum, hh);
+                for_loop(b, Value::const_i64(0), Value::const_i64(ni), |b, k| {
+                    let xi = b.add(Type::I64, xbase, k);
+                    let xslot = b.gep(Value::Global(g_x), xi, 8, 0);
+                    let x = b.load(Type::F64, xslot);
+                    let xd = b.fmul(x, hdelta);
+                    let scaled = b.fmul(xd, Value::const_f64(FIX));
+                    let fx = b.fptosi(scaled, Type::I64);
+                    let wrow2 = b.mul(Type::I64, k, Value::const_i64(nh));
+                    let wi = b.add(Type::I64, wrow2, j);
+                    let wslot = b.gep(Value::Global(g_wd1), wi, 8, 0);
+                    let a = b.load(Type::I64, wslot);
+                    let a2 = b.add(Type::I64, a, fx);
+                    b.store(Type::I64, a2, wslot);
+                });
+            });
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+    }
+
+    // fn main: allocate the work arrays on the stack, publish pointers,
+    // then run epochs: train, fold deltas into weights, print error.
+    {
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        let hid = b.alloca((p.hidden * 8) as u64, "hidden_acts");
+        let out = b.alloca((p.outputs * 8) as u64, "output_acts");
+        let onet = b.alloca((p.outputs * 8) as u64, "output_net");
+        let odelta = b.alloca((p.outputs * 8) as u64, "output_delta");
+        b.store(Type::Ptr, hid, Value::Global(g_hid));
+        b.store(Type::Ptr, out, Value::Global(g_out));
+        b.store(Type::Ptr, onet, Value::Global(g_onet));
+        b.store(Type::Ptr, odelta, Value::Global(g_odelta));
+
+        for_loop(&mut b, Value::const_i64(0), Value::const_i64(p.epochs as i64), |b, _| {
+            b.call(train_id, vec![], None);
+            // Fold: w += LR · (wd / FIX) / EX; wd = 0. (Affine loops —
+            // these are what the DOALL-only baseline manages to pick up.)
+            let fold = |b: &mut FunctionBuilder, w, wd, count: i64| {
+                for_loop(b, Value::const_i64(0), Value::const_i64(count), |b, i| {
+                    let ds = b.gep(Value::Global(wd), i, 8, 0);
+                    let dfix = b.load(Type::I64, ds);
+                    let df = b.sitofp(dfix);
+                    let d = b.fdiv(df, Value::const_f64(FIX));
+                    let lr = b.fmul(d, Value::const_f64(LR));
+                    let ws = b.gep(Value::Global(w), i, 8, 0);
+                    let wv = b.load(Type::F64, ws);
+                    let w2 = b.fadd(wv, lr);
+                    b.store(Type::F64, w2, ws);
+                    let ds2 = b.gep(Value::Global(wd), i, 8, 0);
+                    b.store(Type::I64, Value::const_i64(0), ds2);
+                });
+            };
+            fold(b, g_w1, g_wd1, ni * nh);
+            fold(b, g_w2, g_wd2, nh * no);
+            let e = b.load(Type::I64, Value::Global(g_err));
+            b.print_i64(e);
+            b.store(Type::I64, Value::const_i64(0), Value::Global(g_err));
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+    }
+    privateer_ir::verify::verify_module(&m).expect("alvinn module is well-formed");
+    m
+}
+
+/// The expected output, computed natively with matching operation order.
+pub fn reference_output(p: &Params) -> Vec<u8> {
+    let (xs, ts, mut w1, mut w2) = gen_inputs(p);
+    let (ni, nh, no) = (p.inputs, p.hidden, p.outputs);
+    let sigmoid = |x: f64| 1.0 / (1.0 + (0.0 - x).exp());
+    let mut out_bytes = Vec::new();
+    let mut wd1 = vec![0i64; ni * nh];
+    let mut wd2 = vec![0i64; nh * no];
+    let mut err: i64 = 0;
+    for _ in 0..p.epochs {
+        for ex in 0..p.examples {
+            let x = &xs[ex * ni..(ex + 1) * ni];
+            let t = &ts[ex * no..(ex + 1) * no];
+            let mut hid = vec![0.0f64; nh];
+            for (k, &xk) in x.iter().enumerate() {
+                for j in 0..nh {
+                    hid[j] += xk * w1[k * nh + j];
+                }
+            }
+            for h in hid.iter_mut() {
+                *h = sigmoid(*h);
+            }
+            let mut onet = vec![0.0f64; no];
+            for j in 0..nh {
+                for o in 0..no {
+                    onet[o] += hid[j] * w2[j * no + o];
+                }
+            }
+            let out: Vec<f64> = onet.iter().map(|&v| sigmoid(v)).collect();
+            let mut odelta = vec![0.0f64; no];
+            for o in 0..no {
+                let d = t[o] - out[o];
+                err += (d * d * FIX) as i64;
+                odelta[o] = d * (out[o] * (1.0 - out[o]));
+            }
+            for j in 0..nh {
+                for o in 0..no {
+                    wd2[j * no + o] += (odelta[o] * hid[j] * FIX) as i64;
+                }
+            }
+            for j in 0..nh {
+                let mut sum = 0.0f64;
+                for o in 0..no {
+                    sum += odelta[o] * w2[j * no + o];
+                }
+                let hdelta = sum * (hid[j] * (1.0 - hid[j]));
+                for k in 0..ni {
+                    wd1[k * nh + j] += (x[k] * hdelta * FIX) as i64;
+                }
+            }
+        }
+        for i in 0..ni * nh {
+            w1[i] += (wd1[i] as f64 / FIX) * LR;
+            wd1[i] = 0;
+        }
+        for i in 0..nh * no {
+            w2[i] += (wd2[i] as f64 / FIX) * LR;
+            wd2[i] = 0;
+        }
+        out_bytes.extend(format!("{err}\n").into_bytes());
+        err = 0;
+    }
+    out_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_vm::{load_module, BasicRuntime, Interp, NopHooks};
+
+    #[test]
+    fn sequential_matches_reference() {
+        let p = Params {
+            inputs: 6,
+            hidden: 5,
+            outputs: 3,
+            examples: 10,
+            epochs: 3,
+            seed: 4,
+        };
+        let m = build(&p);
+        let image = load_module(&m);
+        let mut interp = Interp::new(&m, &image, NopHooks, BasicRuntime::strict());
+        interp.run_main().unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&interp.rt.take_output()),
+            String::from_utf8_lossy(&reference_output(&p))
+        );
+    }
+
+    #[test]
+    fn training_reduces_error() {
+        let p = Params::train();
+        let out = reference_output(&p);
+        let errs: Vec<i64> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| l.parse().unwrap())
+            .collect();
+        assert!(errs.len() == p.epochs);
+        assert!(errs.last().unwrap() < errs.first().unwrap(), "{errs:?}");
+    }
+}

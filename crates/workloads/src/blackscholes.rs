@@ -1,0 +1,314 @@
+//! The `blackscholes` kernel (PARSEC), sequential version.
+//!
+//! The inner loop prices every option (embarrassingly parallel, and
+//! provable by static affine analysis — the paper's DOALL-only baseline
+//! parallelizes it). The outer loop repeats the run and copies results
+//! into a *pricing buffer allocated in a different function* through a
+//! pointer loaded from a global — output dependences on that buffer block
+//! the outer loop for non-speculative systems, and Privateer privatizes
+//! it (§6.1).
+
+use crate::util::{for_loop, Xorshift};
+use privateer_ir::builder::FunctionBuilder;
+use privateer_ir::{FuncId, GlobalInit, Module, Type, Value};
+
+/// Kernel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Number of options.
+    pub options: usize,
+    /// Outer-loop repetitions.
+    pub runs: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Train scale.
+    pub fn train() -> Params {
+        Params {
+            options: 64,
+            runs: 20,
+            seed: 21,
+        }
+    }
+
+    /// Ref scale.
+    pub fn reference() -> Params {
+        Params {
+            options: 128,
+            runs: 40,
+            seed: 22,
+        }
+    }
+}
+
+/// The option inputs, generated deterministically.
+struct Inputs {
+    sptprice: Vec<f64>,
+    strike: Vec<f64>,
+    rate: Vec<f64>,
+    volatility: Vec<f64>,
+    time: Vec<f64>,
+    otype: Vec<i64>,
+}
+
+fn inputs(p: &Params) -> Inputs {
+    let mut rng = Xorshift(p.seed);
+    let n = p.options;
+    let mut w = |lo: f64, hi: f64| -> Vec<f64> {
+        (0..n).map(|_| lo + (hi - lo) * rng.unit_f64()).collect()
+    };
+    let sptprice = w(20.0, 120.0);
+    let strike = w(20.0, 120.0);
+    let rate = w(0.01, 0.06);
+    let volatility = w(0.1, 0.6);
+    let time = w(0.25, 2.0);
+    let otype = {
+        let mut rng2 = Xorshift(p.seed ^ 0xabcd);
+        (0..n).map(|_| (rng2.below(2)) as i64).collect()
+    };
+    Inputs {
+        sptprice,
+        strike,
+        rate,
+        volatility,
+        time,
+        otype,
+    }
+}
+
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// The cumulative normal distribution, Abramowitz–Stegun style (the
+/// PARSEC `CNDF`), in a fixed operation order mirrored by the IR build.
+fn cndf(x: f64) -> f64 {
+    let ax = x.abs();
+    let k = 1.0 / (1.0 + 0.231_641_9 * ax);
+    let poly = k
+        * (0.319_381_530
+            + k * (-0.356_563_782 + k * (1.781_477_937 + k * (-1.821_255_978 + k * 1.330_274_429))));
+    // Parenthesized to match the IR build's operation order exactly
+    // (floating-point multiplication is not associative).
+    let n = 1.0 - INV_SQRT_2PI * ((-ax * ax / 2.0).exp() * poly);
+    if x < 0.0 {
+        1.0 - n
+    } else {
+        n
+    }
+}
+
+fn price_one(s: f64, k: f64, r: f64, v: f64, t: f64, otype: i64) -> f64 {
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / k).ln() + (r + v * v / 2.0) * t) / (v * sqrt_t);
+    let d2 = d1 - v * sqrt_t;
+    let nd1 = cndf(d1);
+    let nd2 = cndf(d2);
+    let e = (-r * t).exp();
+    if otype == 0 {
+        s * nd1 - k * e * nd2
+    } else {
+        k * e * (1.0 - nd2) - s * (1.0 - nd1)
+    }
+}
+
+/// Build the IR program.
+pub fn build(p: &Params) -> Module {
+    let n = p.options as i64;
+    let runs = p.runs as i64;
+    let inp = inputs(p);
+    let mut m = Module::new("blackscholes");
+
+    let g_spt = m.add_global_init("sptprice", (p.options * 8) as u64, GlobalInit::F64s(inp.sptprice));
+    let g_strike = m.add_global_init("strike", (p.options * 8) as u64, GlobalInit::F64s(inp.strike));
+    let g_rate = m.add_global_init("rate", (p.options * 8) as u64, GlobalInit::F64s(inp.rate));
+    let g_vol = m.add_global_init("volatility", (p.options * 8) as u64, GlobalInit::F64s(inp.volatility));
+    let g_time = m.add_global_init("time", (p.options * 8) as u64, GlobalInit::F64s(inp.time));
+    let g_otype = m.add_global_init("otype", (p.options * 8) as u64, GlobalInit::I64s(inp.otype));
+    let g_tmp = m.add_global("tmp_out", (p.options * 8) as u64);
+    let g_prices_ptr = m.add_global("prices_ptr", 8);
+
+    // fn alloc_prices(): the pricing buffer comes from a different
+    // function, reachable only through a pointer cell.
+    let alloc_prices = FuncId::new(0);
+    {
+        let mut b = FunctionBuilder::new("alloc_prices", vec![], None);
+        let buf = b.malloc(Value::const_i64(n * 8));
+        b.store(Type::Ptr, buf, Value::Global(g_prices_ptr));
+        b.ret(None);
+        m.add_function(b.finish());
+    }
+
+    // fn main.
+    {
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        b.call(alloc_prices, vec![], None);
+        for_loop(&mut b, Value::const_i64(0), Value::const_i64(runs), |b, _run| {
+            // Inner compute loop: statically provable DOALL.
+            for_loop(b, Value::const_i64(0), Value::const_i64(n), |b, i| {
+                let ld = |b: &mut FunctionBuilder, g| {
+                    let slot = b.gep(Value::Global(g), i, 8, 0);
+                    b.load(Type::F64, slot)
+                };
+                let s = ld(b, g_spt);
+                let k = ld(b, g_strike);
+                let r = ld(b, g_rate);
+                let v = ld(b, g_vol);
+                let t = ld(b, g_time);
+                let oslot = b.gep(Value::Global(g_otype), i, 8, 0);
+                let oty = b.load(Type::I64, oslot);
+
+                let sqrt_t = b.intrinsic(privateer_ir::Intrinsic::Sqrt, vec![t]).unwrap();
+                let s_over_k = b.fdiv(s, k);
+                let ln_sk = b.intrinsic(privateer_ir::Intrinsic::Log, vec![s_over_k]).unwrap();
+                let vv = b.fmul(v, v);
+                let vv2 = b.fdiv(vv, Value::const_f64(2.0));
+                let rv = b.fadd(r, vv2);
+                let rvt = b.fmul(rv, t);
+                let num = b.fadd(ln_sk, rvt);
+                let den = b.fmul(v, sqrt_t);
+                let d1 = b.fdiv(num, den);
+                let vsq = b.fmul(v, sqrt_t);
+                let d2 = b.fsub(d1, vsq);
+
+                // Branch-free CNDF(x), twice.
+                let cndf_ir = |b: &mut FunctionBuilder, x: Value| -> Value {
+                    let ax = b.intrinsic(privateer_ir::Intrinsic::FAbs, vec![x]).unwrap();
+                    let kx = b.fmul(Value::const_f64(0.231_641_9), ax);
+                    let k1 = b.fadd(Value::const_f64(1.0), kx);
+                    let kk = b.fdiv(Value::const_f64(1.0), k1);
+                    let p4 = b.fmul(kk, Value::const_f64(1.330_274_429));
+                    let p3a = b.fadd(Value::const_f64(-1.821_255_978), p4);
+                    let p3 = b.fmul(kk, p3a);
+                    let p2a = b.fadd(Value::const_f64(1.781_477_937), p3);
+                    let p2 = b.fmul(kk, p2a);
+                    let p1a = b.fadd(Value::const_f64(-0.356_563_782), p2);
+                    let p1 = b.fmul(kk, p1a);
+                    let p0a = b.fadd(Value::const_f64(0.319_381_530), p1);
+                    let poly = b.fmul(kk, p0a);
+                    let ax2 = b.fmul(ax, ax);
+                    let mh = b.fdiv(ax2, Value::const_f64(2.0));
+                    let negmh = b.fsub(Value::const_f64(0.0), mh);
+                    let ex = b.intrinsic(privateer_ir::Intrinsic::Exp, vec![negmh]).unwrap();
+                    let ep = b.fmul(ex, poly);
+                    let c = b.fmul(Value::const_f64(INV_SQRT_2PI), ep);
+                    let nn = b.fsub(Value::const_f64(1.0), c);
+                    let flip = b.fsub(Value::const_f64(1.0), nn);
+                    let neg = b.fcmp(privateer_ir::CmpOp::Lt, x, Value::const_f64(0.0));
+                    b.select(Type::F64, neg, flip, nn)
+                };
+                let nd1 = cndf_ir(b, d1);
+                let nd2 = cndf_ir(b, d2);
+
+                let rt = b.fmul(r, t);
+                let nrt = b.fsub(Value::const_f64(0.0), rt);
+                let e = b.intrinsic(privateer_ir::Intrinsic::Exp, vec![nrt]).unwrap();
+                let snd1 = b.fmul(s, nd1);
+                let ke = b.fmul(k, e);
+                let kend2 = b.fmul(ke, nd2);
+                let call = b.fsub(snd1, kend2);
+                let one_nd2 = b.fsub(Value::const_f64(1.0), nd2);
+                let one_nd1 = b.fsub(Value::const_f64(1.0), nd1);
+                let kp = b.fmul(ke, one_nd2);
+                let sp = b.fmul(s, one_nd1);
+                let put = b.fsub(kp, sp);
+                let is_call = b.icmp(privateer_ir::CmpOp::Eq, oty, Value::const_i64(0));
+                let price = b.select(Type::F64, is_call, call, put);
+                let tslot = b.gep(Value::Global(g_tmp), i, 8, 0);
+                b.store(Type::F64, price, tslot);
+            });
+            // Copy loop: through the pointer loaded from the global — this
+            // is what blocks static analysis on the outer loop.
+            for_loop(b, Value::const_i64(0), Value::const_i64(n), |b, i| {
+                let buf = b.load(Type::Ptr, Value::Global(g_prices_ptr));
+                let t = b.gep(Value::Global(g_tmp), i, 8, 0);
+                let v = b.load(Type::F64, t);
+                let d = b.gep(buf, i, 8, 0);
+                b.store(Type::F64, v, d);
+            });
+        });
+        // Checksum over the pricing buffer.
+        let buf = b.load(Type::Ptr, Value::Global(g_prices_ptr));
+        let acc = b.alloca(8, "acc");
+        b.store(Type::F64, Value::const_f64(0.0), acc);
+        for_loop(&mut b, Value::const_i64(0), Value::const_i64(n), |b, i| {
+            let slot = b.gep(buf, i, 8, 0);
+            let v = b.load(Type::F64, slot);
+            let a = b.load(Type::F64, acc);
+            let a2 = b.fadd(a, v);
+            b.store(Type::F64, a2, acc);
+        });
+        let total = b.load(Type::F64, acc);
+        b.print_f64(total);
+        b.ret(None);
+        m.add_function(b.finish());
+    }
+    privateer_ir::verify::verify_module(&m).expect("blackscholes module is well-formed");
+    m
+}
+
+/// The expected output, computed natively with the same operation order.
+pub fn reference_output(p: &Params) -> Vec<u8> {
+    let inp = inputs(p);
+    let n = p.options;
+    let mut prices = vec![0.0f64; n];
+    for _ in 0..p.runs {
+        for (i, price) in prices.iter_mut().enumerate() {
+            *price = price_one(
+                inp.sptprice[i],
+                inp.strike[i],
+                inp.rate[i],
+                inp.volatility[i],
+                inp.time[i],
+                inp.otype[i],
+            );
+        }
+    }
+    let mut total = 0.0f64;
+    for &v in &prices {
+        total += v;
+    }
+    format!("{total:.6}\n").into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_vm::{load_module, BasicRuntime, Interp, NopHooks};
+
+    #[test]
+    fn sequential_matches_reference() {
+        let p = Params {
+            options: 16,
+            runs: 3,
+            seed: 7,
+        };
+        let m = build(&p);
+        let image = load_module(&m);
+        let mut interp = Interp::new(&m, &image, NopHooks, BasicRuntime::strict());
+        interp.run_main().unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&interp.rt.take_output()),
+            String::from_utf8_lossy(&reference_output(&p))
+        );
+    }
+
+    #[test]
+    fn prices_are_sane() {
+        // Black-Scholes prices are non-negative and below the spot+strike.
+        let p = Params::train();
+        let inp = inputs(&p);
+        for i in 0..p.options {
+            let v = price_one(
+                inp.sptprice[i],
+                inp.strike[i],
+                inp.rate[i],
+                inp.volatility[i],
+                inp.time[i],
+                inp.otype[i],
+            );
+            assert!(v.is_finite() && v >= -1e-9, "option {i}: {v}");
+            assert!(v <= inp.sptprice[i] + inp.strike[i]);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The `dijkstra` kernel (MiBench), the paper's motivating example
+//! (Figure 2).
+//!
+//! The hot outer loop runs a work-list shortest-path relaxation from every
+//! source vertex. Two data structures are *reused* across iterations:
+//!
+//! * `Q` — a global linked-list work queue (head/tail pointers to
+//!   malloc'd nodes);
+//! * `pathcost` — the global cost table, re-initialized per source.
+//!
+//! The reuse creates false dependences on every pair of iterations; the
+//! queue's head/tail additionally carry a *flow* dependence whose value is
+//! always NULL at iteration boundaries — removed by value-prediction
+//! speculation, exactly as in §6.1. List nodes are short-lived; `adj` is
+//! read-only; each iteration prints one result line (deferred I/O).
+
+use crate::util::{for_loop, if_then, if_then_else, Xorshift};
+use privateer_ir::builder::FunctionBuilder;
+use privateer_ir::{CmpOp, FuncId, GlobalInit, Module, Type, Value};
+
+/// Offsets within the `Q` global.
+const Q_HEAD: i64 = 0;
+const Q_TAIL: i64 = 8;
+/// Offsets within a list node.
+const NODE_VX: i64 = 0;
+const NODE_NEXT: i64 = 8;
+const INF: i64 = i64::MAX / 4;
+
+/// Kernel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Number of vertices (and outer-loop iterations).
+    pub n: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The paper's "train" input scale.
+    pub fn train() -> Params {
+        Params { n: 24, seed: 11 }
+    }
+
+    /// The paper's "ref" input scale.
+    pub fn reference() -> Params {
+        Params { n: 48, seed: 12 }
+    }
+}
+
+fn adjacency(p: &Params) -> Vec<i64> {
+    let mut rng = Xorshift(p.seed);
+    let n = p.n;
+    let mut adj = vec![0i64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.below(100) < 35 {
+                adj[i * n + j] = 1 + rng.below(10) as i64;
+            }
+        }
+    }
+    adj
+}
+
+/// Build the IR program.
+pub fn build(p: &Params) -> Module {
+    let n = p.n as i64;
+    let mut m = Module::new("dijkstra");
+    let q = m.add_global("Q", 16);
+    let pathcost = m.add_global("pathcost", (p.n * 8) as u64);
+    let adj = m.add_global_init("adj", (p.n * p.n * 8) as u64, GlobalInit::I64s(adjacency(p)));
+
+    // fn enqueue(v): node = malloc(16); node.vx = v; node.next = NULL;
+    //               if Q.tail { Q.tail.next = node } else { Q.head = node }
+    //               Q.tail = node
+    let enqueue_id = FuncId::new(0);
+    {
+        let mut b = FunctionBuilder::new("enqueue", vec![Type::I64], None);
+        let v = b.param(0);
+        let node = b.malloc(Value::const_i64(16));
+        let vx = b.gep_const(node, NODE_VX);
+        b.store(Type::I64, v, vx);
+        let nx = b.gep_const(node, NODE_NEXT);
+        b.store(Type::Ptr, Value::Null, nx);
+        let tail_p = b.gep_const(Value::Global(q), Q_TAIL);
+        let tail = b.load(Type::Ptr, tail_p);
+        let has_tail = b.icmp(CmpOp::Ne, tail, Value::Null);
+        if_then_else(
+            &mut b,
+            has_tail,
+            |b| {
+                let tnext = b.gep_const(tail, NODE_NEXT);
+                b.store(Type::Ptr, node, tnext);
+            },
+            |b| {
+                let head_p = b.gep_const(Value::Global(q), Q_HEAD);
+                b.store(Type::Ptr, node, head_p);
+            },
+        );
+        let tail_p2 = b.gep_const(Value::Global(q), Q_TAIL);
+        b.store(Type::Ptr, node, tail_p2);
+        b.ret(None);
+        m.add_function(b.finish());
+    }
+
+    // fn dequeue() -> i64: k = Q.head; v = k.vx; Q.head = k.next;
+    //                      if Q.head == NULL { Q.tail = NULL }; free(k); v
+    let dequeue_id = FuncId::new(1);
+    {
+        let mut b = FunctionBuilder::new("dequeue", vec![], Some(Type::I64));
+        let head_p = b.gep_const(Value::Global(q), Q_HEAD);
+        let k = b.load(Type::Ptr, head_p);
+        let vx = b.gep_const(k, NODE_VX);
+        let v = b.load(Type::I64, vx);
+        let nx = b.gep_const(k, NODE_NEXT);
+        let next = b.load(Type::Ptr, nx);
+        let head_p2 = b.gep_const(Value::Global(q), Q_HEAD);
+        b.store(Type::Ptr, next, head_p2);
+        let empty = b.icmp(CmpOp::Eq, next, Value::Null);
+        if_then(&mut b, empty, |b| {
+            let tail_p = b.gep_const(Value::Global(q), Q_TAIL);
+            b.store(Type::Ptr, Value::Null, tail_p);
+        });
+        b.free(k);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+    }
+
+    // fn main: hot loop over sources.
+    {
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        for_loop(&mut b, Value::const_i64(0), Value::const_i64(n), |b, src| {
+            // pathcost[i] = INF for all i; pathcost[src] = 0.
+            for_loop(b, Value::const_i64(0), Value::const_i64(n), |b, i| {
+                let slot = b.gep(Value::Global(pathcost), i, 8, 0);
+                b.store(Type::I64, Value::const_i64(INF), slot);
+            });
+            let sslot = b.gep(Value::Global(pathcost), src, 8, 0);
+            b.store(Type::I64, Value::const_i64(0), sslot);
+            b.call(enqueue_id, vec![src], None);
+
+            // while Q.head != NULL { relax }
+            let while_pre = b.current_block();
+            let wh = b.new_block();
+            let wbody = b.new_block();
+            let wexit = b.new_block();
+            let _ = while_pre;
+            b.br(wh);
+            b.switch_to(wh);
+            let head_p = b.gep_const(Value::Global(q), Q_HEAD);
+            let head = b.load(Type::Ptr, head_p);
+            let nonempty = b.icmp(CmpOp::Ne, head, Value::Null);
+            b.cond_br(nonempty, wbody, wexit);
+            b.switch_to(wbody);
+            let v = b.call(dequeue_id, vec![], Some(Type::I64)).unwrap();
+            let dslot = b.gep(Value::Global(pathcost), v, 8, 0);
+            let d = b.load(Type::I64, dslot);
+            for_loop(b, Value::const_i64(0), Value::const_i64(n), |b, i| {
+                let row = b.mul(Type::I64, v, Value::const_i64(n));
+                let idx = b.add(Type::I64, row, i);
+                let wslot = b.gep(Value::Global(adj), idx, 8, 0);
+                let w = b.load(Type::I64, wslot);
+                let has_edge = b.icmp(CmpOp::Ne, w, Value::const_i64(0));
+                if_then(b, has_edge, |b| {
+                    let ncost = b.add(Type::I64, d, w);
+                    let islot = b.gep(Value::Global(pathcost), i, 8, 0);
+                    let cur = b.load(Type::I64, islot);
+                    let better = b.icmp(CmpOp::Gt, cur, ncost);
+                    if_then(b, better, |b| {
+                        let islot2 = b.gep(Value::Global(pathcost), i, 8, 0);
+                        b.store(Type::I64, ncost, islot2);
+                        b.call(FuncId::new(0), vec![i], None);
+                    });
+                });
+            });
+            b.br(wh);
+            b.switch_to(wexit);
+
+            // Print pathcost[(src + n/2) % n].
+            let half = b.add(Type::I64, src, Value::const_i64(n / 2));
+            let dest = b.bin(privateer_ir::BinOp::SRem, Type::I64, half, Value::const_i64(n));
+            let oslot = b.gep(Value::Global(pathcost), dest, 8, 0);
+            let out = b.load(Type::I64, oslot);
+            b.print_i64(out);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+    }
+    privateer_ir::verify::verify_module(&m).expect("dijkstra module is well-formed");
+    m
+}
+
+/// The expected program output, computed natively.
+pub fn reference_output(p: &Params) -> Vec<u8> {
+    let n = p.n;
+    let adj = adjacency(p);
+    let mut out = Vec::new();
+    for src in 0..n {
+        let mut cost = vec![INF; n];
+        cost[src] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            let d = cost[v];
+            for i in 0..n {
+                let w = adj[v * n + i];
+                if w != 0 && cost[i] > d + w {
+                    cost[i] = d + w;
+                    queue.push_back(i);
+                }
+            }
+        }
+        let dest = (src + n / 2) % n;
+        out.extend(format!("{}\n", cost[dest]).into_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_vm::{load_module, BasicRuntime, Interp, NopHooks};
+
+    #[test]
+    fn sequential_matches_reference() {
+        let p = Params { n: 12, seed: 3 };
+        let m = build(&p);
+        let image = load_module(&m);
+        let mut interp = Interp::new(&m, &image, NopHooks, BasicRuntime::strict());
+        interp.run_main().unwrap();
+        assert_eq!(interp.rt.take_output(), reference_output(&p));
+    }
+
+    #[test]
+    fn train_and_ref_differ() {
+        assert_ne!(
+            reference_output(&Params::train()),
+            reference_output(&Params::reference())
+        );
+    }
+}

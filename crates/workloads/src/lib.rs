@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # privateer-workloads
+//!
+//! The five programs of the paper's evaluation (§6, Table 3), rebuilt as
+//! IR kernels that reproduce each program's *memory behaviour* — which
+//! structures are reused across iterations, which are short-lived, which
+//! need value prediction, reductions or I/O deferral:
+//!
+//! | module | models | key structures |
+//! |--------|--------|----------------|
+//! | [`dijkstra`] | MiBench dijkstra | linked work queue + cost table |
+//! | [`blackscholes`] | PARSEC blackscholes | malloc'd pricing array |
+//! | [`swaptions`] | PARSEC swaptions | short-lived linked matrices |
+//! | [`alvinn`] | SPEC 052.alvinn | stack arrays + array reductions |
+//! | [`md5`] | Trimaran enc-md5 | digest state + per-message buffers |
+//!
+//! Each module exposes `Params`, `build(&Params) -> Module` and
+//! `reference_output(&Params) -> Vec<u8>` (a native Rust oracle).
+
+pub mod alvinn;
+pub mod blackscholes;
+pub mod dijkstra;
+pub mod md5;
+pub mod swaptions;
+pub mod util;

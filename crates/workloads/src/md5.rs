@@ -1,0 +1,372 @@
+//! The `enc-md5` kernel (Trimaran): MD5 digests of a stream of messages.
+//!
+//! The hot loop digests one message per iteration: the four-word digest
+//! *state object* is a reused global (privatized), the padded message
+//! buffer is malloc'd and freed within the iteration (short-lived), the
+//! round-constant and shift tables are read-only, and every digest is
+//! printed (deferred I/O committed in order). A never-taken oversize
+//! branch exercises control speculation — matching Table 3's
+//! "Control, I/O" extras for enc-md5.
+
+use crate::util::{for_loop, if_then, Xorshift};
+use privateer_ir::builder::FunctionBuilder;
+use privateer_ir::{BinOp, CmpOp, GlobalInit, Module, Type, Value};
+
+/// Kernel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Number of messages (hot-loop iterations).
+    pub messages: usize,
+    /// Bytes per message.
+    pub msg_len: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Train scale.
+    pub fn train() -> Params {
+        Params {
+            messages: 40,
+            msg_len: 120,
+            seed: 41,
+        }
+    }
+
+    /// Ref scale.
+    pub fn reference() -> Params {
+        Params {
+            messages: 80,
+            msg_len: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// Padded length: message + 0x80 + zeros + 8-byte bit length, rounded to
+/// 64.
+fn padded_len(msg_len: usize) -> usize {
+    (msg_len + 9).div_ceil(64) * 64
+}
+
+/// RFC 1321 round constants.
+fn k_table() -> Vec<i64> {
+    (0..64)
+        .map(|i| (((i as f64 + 1.0).sin().abs() * 4294967296.0) as u32) as i64)
+        .collect()
+}
+
+/// RFC 1321 per-round rotate amounts.
+fn s_table() -> Vec<i64> {
+    const S: [i64; 16] = [7, 12, 17, 22, 5, 9, 14, 20, 4, 11, 16, 23, 6, 10, 15, 21];
+    (0..64)
+        .map(|r| S[(r / 16) * 4 + (r % 4)])
+        .collect()
+}
+
+fn message_bytes(p: &Params) -> Vec<u8> {
+    let mut rng = Xorshift(p.seed);
+    (0..p.messages * p.msg_len)
+        .map(|_| rng.below(256) as u8)
+        .collect()
+}
+
+const M32: i64 = 0xFFFF_FFFF;
+const INIT: [i64; 4] = [0x6745_2301, 0xefcd_ab89u32 as i64, 0x98ba_dcfeu32 as i64, 0x1032_5476];
+
+/// Build the IR program.
+#[allow(clippy::too_many_lines)]
+pub fn build(p: &Params) -> Module {
+    let nmsg = p.messages as i64;
+    let mlen = p.msg_len as i64;
+    let plen = padded_len(p.msg_len) as i64;
+    let mut m = Module::new("enc-md5");
+
+    let g_msgs = m.add_global_init(
+        "messages",
+        (p.messages * p.msg_len) as u64,
+        GlobalInit::Bytes(message_bytes(p)),
+    );
+    let g_k = m.add_global_init("K", 64 * 8, GlobalInit::I64s(k_table()));
+    let g_s = m.add_global_init("S", 64 * 8, GlobalInit::I64s(s_table()));
+    let g_state = m.add_global("state", 32);
+
+    let mut b = FunctionBuilder::new("main", vec![], None);
+    for_loop(&mut b, Value::const_i64(0), Value::const_i64(nmsg), |b, msg| {
+        // Control-speculation bait: impossible oversize path.
+        let too_big = b.icmp(CmpOp::Gt, Value::const_i64(mlen), Value::const_i64(1 << 40));
+        if_then(b, too_big, |b| {
+            b.print_i64(Value::const_i64(-1));
+        });
+
+        // state = INIT (kill: the reused object is overwritten first).
+        for (w, init) in INIT.iter().enumerate() {
+            let slot = b.gep_const(Value::Global(g_state), (w * 8) as i64);
+            b.store(Type::I64, Value::const_i64(*init), slot);
+        }
+
+        // Short-lived padded buffer.
+        let buf = b.malloc(Value::const_i64(plen));
+        let src_base = b.mul(Type::I64, msg, Value::const_i64(mlen));
+        for_loop(b, Value::const_i64(0), Value::const_i64(mlen), |b, i| {
+            let si = b.add(Type::I64, src_base, i);
+            let sslot = b.gep(Value::Global(g_msgs), si, 1, 0);
+            let byte = b.load(Type::I8, sslot);
+            let dslot = b.gep(buf, i, 1, 0);
+            b.store(Type::I8, byte, dslot);
+        });
+        let pad = b.gep(buf, Value::const_i64(mlen), 1, 0);
+        b.store(Type::I8, Value::const_i8(-128), pad); // 0x80
+        for_loop(
+            b,
+            Value::const_i64(mlen + 1),
+            Value::const_i64(plen - 8),
+            |b, i| {
+                let slot = b.gep(buf, i, 1, 0);
+                b.store(Type::I8, Value::const_i8(0), slot);
+            },
+        );
+        let lenslot = b.gep(buf, Value::const_i64(plen - 8), 1, 0);
+        b.store(Type::I64, Value::const_i64(mlen * 8), lenslot);
+
+        // Per 64-byte block.
+        for_loop(b, Value::const_i64(0), Value::const_i64(plen / 64), |b, blk| {
+            let block_base = b.mul(Type::I64, blk, Value::const_i64(64));
+            let lda = |b: &mut FunctionBuilder, w: usize| {
+                let slot = b.gep_const(Value::Global(g_state), (w * 8) as i64);
+                b.load(Type::I64, slot)
+            };
+            let a0 = lda(b, 0);
+            let b0 = lda(b, 1);
+            let c0 = lda(b, 2);
+            let d0 = lda(b, 3);
+
+            // Round loop with five loop-carried SSA values.
+            let entry = b.current_block();
+            let header = b.new_block();
+            let body_bb = b.new_block();
+            let exit = b.new_block();
+            b.br(header);
+            b.switch_to(header);
+            let (r, r_phi) = b.phi(Type::I64);
+            let (a, a_phi) = b.phi(Type::I64);
+            let (bb_, b_phi) = b.phi(Type::I64);
+            let (c, c_phi) = b.phi(Type::I64);
+            let (d, d_phi) = b.phi(Type::I64);
+            b.add_phi_incoming(r_phi, entry, Value::const_i64(0));
+            b.add_phi_incoming(a_phi, entry, a0);
+            b.add_phi_incoming(b_phi, entry, b0);
+            b.add_phi_incoming(c_phi, entry, c0);
+            b.add_phi_incoming(d_phi, entry, d0);
+            let cont = b.icmp(CmpOp::Lt, r, Value::const_i64(64));
+            b.cond_br(cont, body_bb, exit);
+            b.switch_to(body_bb);
+
+            let not = |b: &mut FunctionBuilder, x: Value| {
+                b.bin(BinOp::Xor, Type::I64, x, Value::const_i64(M32))
+            };
+            let and = |b: &mut FunctionBuilder, x, y| b.bin(BinOp::And, Type::I64, x, y);
+            let or = |b: &mut FunctionBuilder, x, y| b.bin(BinOp::Or, Type::I64, x, y);
+            let xor = |b: &mut FunctionBuilder, x, y| b.bin(BinOp::Xor, Type::I64, x, y);
+            let m32 = |b: &mut FunctionBuilder, x| and(b, x, Value::const_i64(M32));
+
+            // f for the four round families.
+            let nb = not(b, bb_);
+            let bc = and(b, bb_, c);
+            let nbd = and(b, nb, d);
+            let f0 = or(b, bc, nbd);
+            let db = and(b, d, bb_);
+            let nd = not(b, d);
+            let ndc = and(b, nd, c);
+            let f1 = or(b, db, ndc);
+            let bxc = xor(b, bb_, c);
+            let f2 = xor(b, bxc, d);
+            let bnd = or(b, bb_, nd);
+            let f3 = xor(b, c, bnd);
+
+            // g for the four round families.
+            let g0 = b.bin(BinOp::SRem, Type::I64, r, Value::const_i64(16));
+            let r5 = b.mul(Type::I64, r, Value::const_i64(5));
+            let r5p1 = b.add(Type::I64, r5, Value::const_i64(1));
+            let g1 = b.bin(BinOp::SRem, Type::I64, r5p1, Value::const_i64(16));
+            let r3 = b.mul(Type::I64, r, Value::const_i64(3));
+            let r3p5 = b.add(Type::I64, r3, Value::const_i64(5));
+            let g2 = b.bin(BinOp::SRem, Type::I64, r3p5, Value::const_i64(16));
+            let r7 = b.mul(Type::I64, r, Value::const_i64(7));
+            let g3 = b.bin(BinOp::SRem, Type::I64, r7, Value::const_i64(16));
+
+            let lt16 = b.icmp(CmpOp::Lt, r, Value::const_i64(16));
+            let lt32 = b.icmp(CmpOp::Lt, r, Value::const_i64(32));
+            let lt48 = b.icmp(CmpOp::Lt, r, Value::const_i64(48));
+            let f23 = b.select(Type::I64, lt48, f2, f3);
+            let f123 = b.select(Type::I64, lt32, f1, f23);
+            let f = b.select(Type::I64, lt16, f0, f123);
+            let g23 = b.select(Type::I64, lt48, g2, g3);
+            let g123 = b.select(Type::I64, lt32, g1, g23);
+            let g = b.select(Type::I64, lt16, g0, g123);
+
+            // m = word g of this block (little-endian u32).
+            let g4 = b.mul(Type::I64, g, Value::const_i64(4));
+            let off = b.add(Type::I64, block_base, g4);
+            let mslot = b.gep(buf, off, 1, 0);
+            let mword_s = b.load(Type::I32, mslot);
+            let mword_w = b.sext(mword_s, Type::I64);
+            let mword = m32(b, mword_w);
+
+            let kslot = b.gep(Value::Global(g_k), r, 8, 0);
+            let k = b.load(Type::I64, kslot);
+            let sslot = b.gep(Value::Global(g_s), r, 8, 0);
+            let s = b.load(Type::I64, sslot);
+
+            // x = a + f + k + m (mod 2^32); b' = b + rotl32(x, s).
+            let af = b.add(Type::I64, a, f);
+            let afk = b.add(Type::I64, af, k);
+            let x0 = b.add(Type::I64, afk, mword);
+            let x = m32(b, x0);
+            let sh = b.bin(BinOp::Shl, Type::I64, x, s);
+            let shm = m32(b, sh);
+            let inv = b.sub(Type::I64, Value::const_i64(32), s);
+            let lo = b.bin(BinOp::LShr, Type::I64, x, inv);
+            let rot = or(b, shm, lo);
+            let bpx = b.add(Type::I64, bb_, rot);
+            let new_b = m32(b, bpx);
+
+            let r2 = b.add(Type::I64, r, Value::const_i64(1));
+            let latch = b.current_block();
+            b.add_phi_incoming(r_phi, latch, r2);
+            b.add_phi_incoming(a_phi, latch, d);
+            b.add_phi_incoming(b_phi, latch, new_b);
+            b.add_phi_incoming(c_phi, latch, bb_);
+            b.add_phi_incoming(d_phi, latch, c);
+            b.br(header);
+            b.switch_to(exit);
+
+            // state += (a, b, c, d) (mod 2^32).
+            for (w, v) in [(0usize, a), (1, bb_), (2, c), (3, d)] {
+                let slot = b.gep_const(Value::Global(g_state), (w * 8) as i64);
+                let cur = b.load(Type::I64, slot);
+                let sum = b.add(Type::I64, cur, v);
+                let sm = m32(b, sum);
+                b.store(Type::I64, sm, slot);
+            }
+        });
+        b.free(buf);
+
+        // Print the digest words.
+        for w in 0..4usize {
+            let slot = b.gep_const(Value::Global(g_state), (w * 8) as i64);
+            let v = b.load(Type::I64, slot);
+            b.print_i64(v);
+        }
+    });
+    b.ret(None);
+    m.add_function(b.finish());
+    privateer_ir::verify::verify_module(&m).expect("md5 module is well-formed");
+    m
+}
+
+/// Native MD5 over one message, returning the four state words.
+fn md5_words(msg: &[u8]) -> [u32; 4] {
+    let k: Vec<u32> = k_table().iter().map(|&v| v as u32).collect();
+    let s: Vec<u32> = s_table().iter().map(|&v| v as u32).collect();
+    let mut padded = msg.to_vec();
+    padded.push(0x80);
+    while padded.len() % 64 != 56 {
+        padded.push(0);
+    }
+    padded.extend(((msg.len() as u64) * 8).to_le_bytes());
+    let mut state: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
+    for block in padded.chunks(64) {
+        let mut words = [0u32; 16];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        let (mut a, mut b, mut c, mut d) = (state[0], state[1], state[2], state[3]);
+        for r in 0..64usize {
+            let (f, g) = match r / 16 {
+                0 => ((b & c) | (!b & d), r),
+                1 => ((d & b) | (!d & c), (5 * r + 1) % 16),
+                2 => (b ^ c ^ d, (3 * r + 5) % 16),
+                _ => (c ^ (b | !d), (7 * r) % 16),
+            };
+            let x = a
+                .wrapping_add(f)
+                .wrapping_add(k[r])
+                .wrapping_add(words[g]);
+            let nb = b.wrapping_add(x.rotate_left(s[r]));
+            a = d;
+            d = c;
+            c = b;
+            b = nb;
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+    }
+    state
+}
+
+/// The expected output, computed natively.
+pub fn reference_output(p: &Params) -> Vec<u8> {
+    let data = message_bytes(p);
+    let mut out = Vec::new();
+    for m in 0..p.messages {
+        let msg = &data[m * p.msg_len..(m + 1) * p.msg_len];
+        for w in md5_words(msg) {
+            out.extend(format!("{w}\n").into_bytes());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_vm::{load_module, BasicRuntime, Interp, NopHooks};
+
+    #[test]
+    fn native_md5_matches_rfc1321_vectors() {
+        // md5("") = d41d8cd98f00b204e9800998ecf8427e
+        let w = md5_words(b"");
+        let hex: String = w
+            .iter()
+            .flat_map(|x| x.to_le_bytes())
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        assert_eq!(hex, "d41d8cd98f00b204e9800998ecf8427e");
+        // md5("abc") = 900150983cd24fb0d6963f7d28e17f72
+        let w = md5_words(b"abc");
+        let hex: String = w
+            .iter()
+            .flat_map(|x| x.to_le_bytes())
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        assert_eq!(hex, "900150983cd24fb0d6963f7d28e17f72");
+    }
+
+    #[test]
+    fn sequential_matches_reference() {
+        let p = Params {
+            messages: 6,
+            msg_len: 75,
+            seed: 9,
+        };
+        let m = build(&p);
+        let image = load_module(&m);
+        let mut interp = Interp::new(&m, &image, NopHooks, BasicRuntime::strict());
+        interp.run_main().unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&interp.rt.take_output()),
+            String::from_utf8_lossy(&reference_output(&p))
+        );
+    }
+
+    #[test]
+    fn padding_math() {
+        assert_eq!(padded_len(0), 64);
+        assert_eq!(padded_len(55), 64);
+        assert_eq!(padded_len(56), 128);
+        assert_eq!(padded_len(120), 192);
+    }
+}

@@ -1,0 +1,166 @@
+//! Shared IR-construction helpers for the benchmark kernels.
+
+use privateer_ir::builder::FunctionBuilder;
+use privateer_ir::{BlockId, CmpOp, Type, Value};
+
+/// Emit a canonical counted loop `for iv in lo..hi (step 1)`.
+///
+/// `body` receives the builder positioned at the first body block and the
+/// induction value; it must leave the builder positioned at the block that
+/// falls through to the loop latch (it may create inner control flow).
+/// Returns the exit block, where the builder is positioned afterwards.
+pub fn for_loop(
+    b: &mut FunctionBuilder,
+    lo: Value,
+    hi: Value,
+    body: impl FnOnce(&mut FunctionBuilder, Value),
+) -> BlockId {
+    let preheader = b.current_block();
+    let header = b.new_block();
+    let body_bb = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let (iv, phi) = b.phi(Type::I64);
+    b.add_phi_incoming(phi, preheader, lo);
+    let c = b.icmp(CmpOp::Lt, iv, hi);
+    b.cond_br(c, body_bb, exit);
+    b.switch_to(body_bb);
+    body(b, iv);
+    let latch = b.current_block();
+    let next = b.add(Type::I64, iv, Value::const_i64(1));
+    b.add_phi_incoming(phi, latch, next);
+    b.br(header);
+    b.switch_to(exit);
+    exit
+}
+
+/// Emit `if cond { then }` (no else). `then` must leave the builder at a
+/// block that falls through; control rejoins afterwards.
+pub fn if_then(
+    b: &mut FunctionBuilder,
+    cond: Value,
+    then: impl FnOnce(&mut FunctionBuilder),
+) {
+    let then_bb = b.new_block();
+    let join = b.new_block();
+    b.cond_br(cond, then_bb, join);
+    b.switch_to(then_bb);
+    then(b);
+    b.br(join);
+    b.switch_to(join);
+}
+
+/// Emit `if cond { then } else { els }`.
+pub fn if_then_else(
+    b: &mut FunctionBuilder,
+    cond: Value,
+    then: impl FnOnce(&mut FunctionBuilder),
+    els: impl FnOnce(&mut FunctionBuilder),
+) {
+    let then_bb = b.new_block();
+    let else_bb = b.new_block();
+    let join = b.new_block();
+    b.cond_br(cond, then_bb, else_bb);
+    b.switch_to(then_bb);
+    then(b);
+    b.br(join);
+    b.switch_to(else_bb);
+    els(b);
+    b.br(join);
+    b.switch_to(join);
+}
+
+/// A tiny deterministic generator for workload inputs (same sequence in
+/// the IR program's baked globals and the native reference).
+#[derive(Debug, Clone)]
+pub struct Xorshift(pub u64);
+
+impl Xorshift {
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in `0..bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privateer_ir::{Module, Value};
+    use privateer_vm::{load_module, BasicRuntime, Interp, NopHooks};
+
+    #[test]
+    fn for_loop_and_if_then_run() {
+        let mut m = Module::new("u");
+        let g = m.add_global("sum", 8);
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        for_loop(&mut b, Value::const_i64(0), Value::const_i64(10), |b, i| {
+            // if i % 2 == 0 { sum += i }
+            let r = b.bin(privateer_ir::BinOp::SRem, Type::I64, i, Value::const_i64(2));
+            let even = b.icmp(CmpOp::Eq, r, Value::const_i64(0));
+            if_then(b, even, |b| {
+                let s = b.load(Type::I64, Value::Global(g));
+                let s2 = b.add(Type::I64, s, i);
+                b.store(Type::I64, s2, Value::Global(g));
+            });
+        });
+        let v = b.load(Type::I64, Value::Global(g));
+        b.print_i64(v);
+        b.ret(None);
+        m.add_function(b.finish());
+        privateer_ir::verify::verify_module(&m).unwrap();
+        let image = load_module(&m);
+        let mut i = Interp::new(&m, &image, NopHooks, BasicRuntime::strict());
+        i.run_main().unwrap();
+        assert_eq!(i.rt.take_output(), b"20\n"); // 0+2+4+6+8
+    }
+
+    #[test]
+    fn nested_for_loops() {
+        let mut m = Module::new("n");
+        let g = m.add_global("acc", 8);
+        let mut b = FunctionBuilder::new("main", vec![], None);
+        for_loop(&mut b, Value::const_i64(0), Value::const_i64(4), |b, _| {
+            for_loop(b, Value::const_i64(0), Value::const_i64(4), |b, _| {
+                let s = b.load(Type::I64, Value::Global(g));
+                let s2 = b.add(Type::I64, s, Value::const_i64(1));
+                b.store(Type::I64, s2, Value::Global(g));
+            });
+        });
+        let v = b.load(Type::I64, Value::Global(g));
+        b.print_i64(v);
+        b.ret(None);
+        m.add_function(b.finish());
+        privateer_ir::verify::verify_module(&m).unwrap();
+        let image = load_module(&m);
+        let mut i = Interp::new(&m, &image, NopHooks, BasicRuntime::strict());
+        i.run_main().unwrap();
+        assert_eq!(i.rt.take_output(), b"16\n");
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = Xorshift(42);
+        let mut b = Xorshift(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let f = Xorshift(7).unit_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

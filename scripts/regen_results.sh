@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerate every checked-in evaluation output under results/.
+set -e
+cd "$(dirname "$0")/.."
+mkdir -p results
+for bin in fig6 fig7 fig8 fig9 table1 table3 ablations; do
+    echo "== $bin"
+    cargo run --release -q -p privateer-bench --bin "$bin" > "results/$bin.txt"
+done
+echo "done; see results/"
