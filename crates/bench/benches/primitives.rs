@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use privateer_ir::Heap;
 use privateer_profile::IntervalMap;
 use privateer_runtime::checkpoint::{collect_contribution, CheckpointMerge};
+use privateer_runtime::shadow::Access;
 use privateer_runtime::worker::WorkerRuntime;
 use privateer_vm::{AddressSpace, RegionAllocator, RuntimeIface};
 use std::hint::black_box;
@@ -26,6 +27,42 @@ fn bench_shadow_transitions(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+}
+
+fn bench_private_write_validation(c: &mut Criterion) {
+    // Steady-state `private_write` validation of a 64-byte aligned span
+    // (the privatization "kill" pattern): the word-granular fast path
+    // versus the per-byte reference it replaced. Shadow metadata is
+    // pre-seeded old-write so both sides measure validation, not page
+    // materialization.
+    let addr = Heap::Private.base() + 0x4000;
+    let setup = || {
+        let mut rt = WorkerRuntime::new(0, 0.0, 0);
+        let mut mem = AddressSpace::new();
+        rt.begin_iteration(0, 0).unwrap();
+        rt.private_write(addr, 64, &mut mem).unwrap();
+        rt.end_iteration().unwrap();
+        WorkerRuntime::normalize_shadow(&mut mem);
+        rt.begin_iteration(1, 1).unwrap();
+        (rt, mem)
+    };
+    let mut g = c.benchmark_group("private_write_validation_64B");
+    g.bench_function("swar", |b| {
+        let (mut rt, mut mem) = setup();
+        b.iter(|| {
+            rt.private_write(black_box(addr), 64, &mut mem).unwrap();
+            black_box(&mem);
+        });
+    });
+    g.bench_function("bytewise", |b| {
+        let (mut rt, mut mem) = setup();
+        b.iter(|| {
+            rt.private_access_bytewise(Access::Write, black_box(addr), 64, &mut mem)
+                .unwrap();
+            black_box(&mem);
+        });
+    });
+    g.finish();
 }
 
 fn bench_cow_fork(c: &mut Criterion) {
@@ -106,6 +143,7 @@ fn bench_allocator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_shadow_transitions,
+    bench_private_write_validation,
     bench_cow_fork,
     bench_checkpoint_merge,
     bench_interval_map,

@@ -29,14 +29,22 @@ fn speedup_with(
         inject_rate: inject,
         inject_seed: 0xab1,
     };
-    let mut interp = Interp::new(&result.module, &image, NopHooks, MainRuntime::new(&image, cfg));
+    let mut interp = Interp::new(
+        &result.module,
+        &image,
+        NopHooks,
+        MainRuntime::new(&image, cfg),
+    );
     interp.run_main().expect("run");
     seq_insts as f64 / (interp.stats.insts + interp.rt.stats.sim.total) as f64
 }
 
 fn main() {
     println!("Ablation 1 — checkpoint period (dijkstra, 8 workers)\n");
-    println!("{:<10}{:>14}{:>22}", "period", "no misspec", "5% injected misspec");
+    println!(
+        "{:<10}{:>14}{:>22}",
+        "period", "no misspec", "5% injected misspec"
+    );
     let wl = &workloads()[1];
     let module = wl.build(Scale::Bench);
     let seq = run_sequential(&module);
@@ -86,13 +94,19 @@ fn main() {
         )
         .unwrap();
         let blocks = |r: &privateer::pipeline::Privatized| {
-            r.reports.iter().map(|x| x.control_spec_blocks).sum::<usize>()
+            r.reports
+                .iter()
+                .map(|x| x.control_spec_blocks)
+                .sum::<usize>()
         };
         println!("{:<14}{:>10}{:>10}", wl.name, blocks(&on), blocks(&off));
     }
 
     println!("\nAblation 4 — separation checks: inserted vs elided (§4.5)\n");
-    println!("{:<14}{:>10}{:>10}{:>12}{:>12}", "program", "inserted", "elided", "priv reads", "priv writes");
+    println!(
+        "{:<14}{:>10}{:>10}{:>12}{:>12}",
+        "program", "inserted", "elided", "priv reads", "priv writes"
+    );
     for wl in workloads() {
         let module = wl.build(Scale::Train);
         let r = privatize(&module, &PipelineConfig::default()).unwrap();

@@ -15,11 +15,17 @@ fn main() {
         _ => Scale::Train,
     };
     let all = workloads();
-    match all.iter().find(|w| w.name.contains(&name) && !name.is_empty()) {
+    match all
+        .iter()
+        .find(|w| w.name.contains(&name) && !name.is_empty())
+    {
         Some(w) => print!("{}", privateer_ir::printer::print_module(&w.build(scale))),
         None => {
             eprintln!("usage: emit_ir <name> [train|bench]");
-            eprintln!("names: {}", all.iter().map(|w| w.name).collect::<Vec<_>>().join(", "));
+            eprintln!(
+                "names: {}",
+                all.iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
+            );
             std::process::exit(2);
         }
     }

@@ -16,11 +16,20 @@ fn main() {
     for wl in workloads() {
         let module = wl.build(Scale::Bench);
         let seq = run_sequential(&module);
-        assert_eq!(seq.out, wl.reference(Scale::Bench), "{}: bad sequential output", wl.name);
+        assert_eq!(
+            seq.out,
+            wl.reference(Scale::Bench),
+            "{}: bad sequential output",
+            wl.name
+        );
         print!("{:<14}", wl.name);
         for (i, &workers) in WORKER_COUNTS.iter().enumerate() {
             let par = run_privateer(&module, workers, 0.0);
-            assert_eq!(par.out, seq.out, "{}: bad parallel output @{workers}", wl.name);
+            assert_eq!(
+                par.out, seq.out,
+                "{}: bad parallel output @{workers}",
+                wl.name
+            );
             let speedup = seq.insts as f64 / par.sim_time() as f64;
             per_worker_speedups[i].push(speedup);
             print!("{speedup:>8.2}");

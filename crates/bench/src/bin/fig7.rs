@@ -20,7 +20,10 @@ fn main() {
         assert_eq!(da.out, seq.out, "{}: doall-only diverged", wl.name);
         let sp = seq.insts as f64 / par.sim_time() as f64;
         let sd = seq.insts as f64 / da.sim_time() as f64;
-        println!("{:<14}{sp:>11.2}x{sd:>13.2}x{:>18}", wl.name, da.parallelized);
+        println!(
+            "{:<14}{sp:>11.2}x{sd:>13.2}x{:>18}",
+            wl.name, da.parallelized
+        );
     }
     println!("\npaper: DOALL-only ~0.93x geomean (slowdown on alvinn, nothing on");
     println!("dijkstra/enc-md5/swaptions, inner loop only on blackscholes);");

@@ -48,7 +48,9 @@ fn main() {
     }
     println!("\npaper's corresponding rows (24-core testbed, full-size inputs):");
     println!("  052.alvinn   200 invoc, 2600 ckpt, 8.2GB R / 300MB W, 4 Pri 0 SL 4 RO 3 Rdx, -");
-    println!("  dijkstra     1 invoc, 5 ckpt, 84.9GB R / 56.7GB W, 10 Pri 3 SL 11 RO, Value+Control+I/O");
+    println!(
+        "  dijkstra     1 invoc, 5 ckpt, 84.9GB R / 56.7GB W, 10 Pri 3 SL 11 RO, Value+Control+I/O"
+    );
     println!("  blackscholes 1 invoc, 5 ckpt, 0B R / 4.0GB W, 1 Pri 0 SL 9 RO, Value");
     println!("  swaptions    1 invoc, 17 ckpt, 288KB R / 169KB W, 2 Pri 15 SL 5 RO, Value+Control");
     println!("  enc-md5      1 invoc, 5 ckpt, 25.5GB R / 30.8GB W, 2 Pri 1 SL 4 RO, Control+I/O");

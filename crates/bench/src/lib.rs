@@ -203,7 +203,12 @@ pub fn run_privateer(module: &Module, workers: usize, inject_rate: f64) -> PrivR
         inject_rate,
         inject_seed: 0xf19,
     };
-    let mut interp = Interp::new(&result.module, &image, NopHooks, MainRuntime::new(&image, cfg));
+    let mut interp = Interp::new(
+        &result.module,
+        &image,
+        NopHooks,
+        MainRuntime::new(&image, cfg),
+    );
     let t0 = Instant::now();
     interp.run_main().expect("parallel run");
     let wall = t0.elapsed();
@@ -249,7 +254,12 @@ pub fn run_doall_only(module: &Module, workers: usize) -> DoallRun {
         ..
     } = doall_only(module);
     let image = load_module(&tm);
-    let mut interp = Interp::new(&tm, &image, NopHooks, UncheckedDoallRuntime::new(&image, workers));
+    let mut interp = Interp::new(
+        &tm,
+        &image,
+        NopHooks,
+        UncheckedDoallRuntime::new(&image, workers),
+    );
     interp.run_main().expect("DOALL-only run");
     DoallRun {
         main_insts: interp.stats.insts,

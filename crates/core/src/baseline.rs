@@ -100,9 +100,7 @@ pub fn prove_static_doall(
             }
             match cross_iteration_test(&a.lin, ssize, &b.lin, asize) {
                 DepTest::NoCrossIterationDep => {}
-                DepTest::MayDep => {
-                    return reject("possible cross-iteration dependence on a store")
-                }
+                DepTest::MayDep => return reject("possible cross-iteration dependence on a store"),
             }
         }
     }
@@ -135,10 +133,8 @@ pub fn doall_only(input: &Module) -> DoallOnly {
     let mut chosen: Vec<(FuncId, LoopId, privateer_ir::BlockId)> = Vec::new();
     for f in module.func_ids().collect::<Vec<_>>() {
         let li = LoopInfo::compute(module.func(f));
-        let mut loops: Vec<(LoopId, usize)> = li
-            .iter()
-            .map(|(id, lp)| (id, lp.blocks.len()))
-            .collect();
+        let mut loops: Vec<(LoopId, usize)> =
+            li.iter().map(|(id, lp)| (id, lp.blocks.len())).collect();
         loops.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         for (l, _) in loops {
             // Skip loops nested inside an already chosen loop.
@@ -341,7 +337,10 @@ mod tests {
         let m = carried_loop();
         let result = doall_only(&m);
         assert!(result.parallelized.is_empty());
-        assert!(result.rejected.iter().any(|(_, _, r)| r.contains("dependence")));
+        assert!(result
+            .rejected
+            .iter()
+            .any(|(_, _, r)| r.contains("dependence")));
     }
 
     #[test]
@@ -384,7 +383,10 @@ mod tests {
         m.add_function(b.finish());
         let result = doall_only(&m);
         assert!(result.parallelized.is_empty());
-        assert!(result.rejected.iter().any(|(_, _, r)| r.contains("allocates")));
+        assert!(result
+            .rejected
+            .iter()
+            .any(|(_, _, r)| r.contains("allocates")));
     }
 
     #[test]

@@ -53,14 +53,25 @@ fn parse_args() -> Options {
             "--sequential" => opts.sequential = true,
             "--report" => opts.report = true,
             "--workers" => {
-                opts.workers = args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                opts.workers = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--checkpoint" => {
-                opts.checkpoint_period =
-                    args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                opts.checkpoint_period = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--inject" => {
-                opts.inject = args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                opts.inject = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with('-') => {

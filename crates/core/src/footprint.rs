@@ -57,9 +57,7 @@ impl Region {
         self.loop_insts.iter().copied().chain(
             self.callees
                 .iter()
-                .flat_map(move |&f| {
-                    module.func(f).inst_ids_in_order().map(move |(_, i)| (f, i))
-                }),
+                .flat_map(move |&f| module.func(f).inst_ids_in_order().map(move |(_, i)| (f, i))),
         )
     }
 
@@ -115,11 +113,15 @@ fn reduction_pairs(module: &Module, f: FuncId) -> Vec<(InstId, InstId, ReduxOp)>
         let InstKind::Store(ty, val, ptr) = func.inst(sid).kind else {
             continue;
         };
-        let Some(def_id) = val.as_inst() else { continue };
+        let Some(def_id) = val.as_inst() else {
+            continue;
+        };
         match func.inst(def_id).kind {
             // `store (op (load p) x), p` — sum-style reductions.
             InstKind::Bin(op, a, b) => {
-                let Some(rop) = redux_op_for(op, ty) else { continue };
+                let Some(rop) = redux_op_for(op, ty) else {
+                    continue;
+                };
                 for cand in [a, b] {
                     if let Some(lid) = load_through(cand, ty, ptr) {
                         out.push((lid, sid, rop));
@@ -248,7 +250,8 @@ pub fn get_footprint(module: &Module, region: &Region, profile: &Profile) -> Foo
     // (ambiguous operator) demote to plain read+write.
     for (obj, ops) in redux_objs {
         if ops.len() == 1 {
-            fp.redux.insert(obj, ops.into_iter().next().expect("one op"));
+            fp.redux
+                .insert(obj, ops.into_iter().next().expect("one op"));
         } else {
             fp.read.insert(obj.clone());
             fp.write.insert(obj);
@@ -264,17 +267,18 @@ pub fn site_footprint<'p>(
     profile: &'p Profile,
     site: CallSite,
     fp: &Footprint,
-) -> (BTreeSet<&'p ObjectName>, BTreeSet<&'p ObjectName>, BTreeSet<&'p ObjectName>) {
+) -> (
+    BTreeSet<&'p ObjectName>,
+    BTreeSet<&'p ObjectName>,
+    BTreeSet<&'p ObjectName>,
+) {
     let mut read = BTreeSet::new();
     let mut write = BTreeSet::new();
     let mut redux = BTreeSet::new();
     let Some(objects) = profile.objects_at(site) else {
         return (read, write, redux);
     };
-    let is_redux_site = fp
-        .redux_pairs
-        .iter()
-        .any(|(l, s)| *l == site || *s == site);
+    let is_redux_site = fp.redux_pairs.iter().any(|(l, s)| *l == site || *s == site);
     let inst = module.func(site.0).inst(site.1);
     for o in objects {
         if is_redux_site {
@@ -367,7 +371,10 @@ mod tests {
         assert_eq!(fp.redux.get(&acc), Some(&ReduxOp::SumF64));
         assert!(!fp.read.contains(&acc) && !fp.write.contains(&acc));
         // The malloc'd temp is read and written (not a reduction).
-        assert!(fp.write.iter().any(|o| matches!(o, ObjectName::Site { .. })));
+        assert!(fp
+            .write
+            .iter()
+            .any(|o| matches!(o, ObjectName::Site { .. })));
         assert!(fp.read.iter().any(|o| matches!(o, ObjectName::Site { .. })));
         assert_eq!(fp.redux_pairs.len(), 1);
     }
@@ -437,7 +444,10 @@ mod tests {
             let f = m.add_function(b.finish());
             let pairs = reduction_pairs(&m, f);
             assert_eq!(pairs.len(), 1, "flip_ops={flip_ops} flip_arms={flip_arms}");
-            assert_eq!(pairs[0].2, want, "flip_ops={flip_ops} flip_arms={flip_arms}");
+            assert_eq!(
+                pairs[0].2, want,
+                "flip_ops={flip_ops} flip_arms={flip_arms}"
+            );
         }
     }
 

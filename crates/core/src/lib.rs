@@ -32,4 +32,3 @@ pub mod transform;
 pub use classify::HeapAssignment;
 pub use footprint::{Footprint, Region};
 pub use pipeline::{privatize, LoopReport, PipelineConfig, PipelineError, Privatized};
-

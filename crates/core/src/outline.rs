@@ -9,8 +9,8 @@
 use privateer_ir::counted::CountedLoop;
 use privateer_ir::loops::Loop;
 use privateer_ir::{
-    BinOp, BlockId, CmpOp, FuncId, Function, Inst, InstId, InstKind, Intrinsic, Module, Term,
-    Type, Value,
+    BinOp, BlockId, CmpOp, FuncId, Function, Inst, InstId, InstKind, Intrinsic, Module, Term, Type,
+    Value,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -83,10 +83,7 @@ pub fn check_outlineable(func: &Function, cl: &CountedLoop, lp: &Loop) -> Result
         if i == cl.iv || i == cl.cmp {
             continue;
         }
-        return err(format!(
-            "header contains extra instruction %{}",
-            i.index()
-        ));
+        return err(format!("header contains extra instruction %{}", i.index()));
     }
 
     // No SSA live-ins (other than the IV) and no live-outs.
@@ -163,7 +160,11 @@ fn clone_body(
     cl: &CountedLoop,
     lp: &Loop,
     name: &str,
-) -> (Function, BTreeMap<InstId, InstId>, BTreeMap<BlockId, BlockId>) {
+) -> (
+    Function,
+    BTreeMap<InstId, InstId>,
+    BTreeMap<BlockId, BlockId>,
+) {
     let mut body = Function::new(name, vec![Type::I64], None);
     // bb0 (entry) branches to the cloned into_loop block; phis with an
     // incoming edge from the old header are remapped to bb0.
@@ -293,7 +294,12 @@ pub fn outline_loop(
     );
     let dmax = push(
         func,
-        InstKind::Select(Type::I64, Value::Inst(pos), Value::Inst(d), Value::const_i64(0)),
+        InstKind::Select(
+            Type::I64,
+            Value::Inst(pos),
+            Value::Inst(d),
+            Value::const_i64(0),
+        ),
         Some(Type::I64),
     );
     let final_iv = if step == 1 {
@@ -329,13 +335,15 @@ pub fn outline_loop(
     func.block_mut(invoke_block).term = Term::Br(cl.exit);
 
     // Reroute the preheader to the invoke block.
-    func.block_mut(preheader).term.map_successors(|s| {
-        if s == cl.header {
-            invoke_block
-        } else {
-            s
-        }
-    });
+    func.block_mut(preheader).term.map_successors(
+        |s| {
+            if s == cl.header {
+                invoke_block
+            } else {
+                s
+            }
+        },
+    );
 
     // Replace uses of the IV outside the loop with the final value, and
     // retarget exit phis' header edges to the invoke block.

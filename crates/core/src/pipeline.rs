@@ -171,7 +171,9 @@ fn try_value_prediction(
     let targets = runs(&bytes);
     let profiler = BoundaryValueProfiler::new(lp, targets.iter().copied());
     let mut interp = Interp::new(module, image, profiler, BasicRuntime::strict());
-    interp.run_main().map_err(|t| format!("boundary profiling failed: {t}"))?;
+    interp
+        .run_main()
+        .map_err(|t| format!("boundary profiling failed: {t}"))?;
     let preds = interp.hooks.predictions_by_addr();
     if preds.len() != targets.len() {
         return Err("dependent values are not stable at iteration boundaries".into());
@@ -179,8 +181,7 @@ fn try_value_prediction(
 
     let mut out = Vec::new();
     for (addr, p) in preds {
-        let (g, offset) =
-            addr_to_global(module, image, addr).expect("checked above");
+        let (g, offset) = addr_to_global(module, image, addr).expect("checked above");
         out.push(ValuePrediction {
             global: privateer_ir::GlobalId::new(g),
             offset,
@@ -368,7 +369,9 @@ pub fn privatize(input: &Module, cfg: &PipelineConfig) -> Result<Privatized, Pip
                 ),
                 ty: None,
             });
-            func.block_mut(outlined.invoke_block).insts.insert(reg_pos, reg);
+            func.block_mut(outlined.invoke_block)
+                .insts
+                .insert(reg_pos, reg);
         }
 
         // Expected heaps per access: body sites translate through the

@@ -58,7 +58,10 @@ pub fn select(mut candidates: Vec<Candidate>) -> (Vec<Candidate>, PlacementMap) 
         if !cand.assignment.is_parallelizable() {
             continue;
         }
-        if chosen.iter().any(|c| may_be_simultaneously_active(c, &cand)) {
+        if chosen
+            .iter()
+            .any(|c| may_be_simultaneously_active(c, &cand))
+        {
             continue;
         }
         let mut tentative = placement.clone();

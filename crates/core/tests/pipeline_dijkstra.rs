@@ -54,7 +54,11 @@ fn dijkstra_privatizes_and_parallelizes() {
     let image = load_module(tm);
     let mut interp = Interp::new(tm, &image, NopHooks, SequentialPlanRuntime::new(&image));
     interp.run_main().unwrap();
-    assert_eq!(interp.rt.take_output(), expected, "sequential transformed run diverged");
+    assert_eq!(
+        interp.rt.take_output(),
+        expected,
+        "sequential transformed run diverged"
+    );
 
     // Parallel execution matches, at several worker counts.
     for workers in [1, 2, 4] {
@@ -65,7 +69,9 @@ fn dijkstra_privatizes_and_parallelizes() {
             inject_seed: 1,
         };
         let mut interp = Interp::new(tm, &image, NopHooks, MainRuntime::new(&image, cfg));
-        interp.run_main().unwrap_or_else(|e| panic!("parallel run failed: {e}"));
+        interp
+            .run_main()
+            .unwrap_or_else(|e| panic!("parallel run failed: {e}"));
         let out = interp.rt.take_output();
         assert_eq!(
             out,
@@ -91,8 +97,16 @@ fn dijkstra_profile_is_input_stable() {
     // The paper notes profiling with a different input yields identical
     // code. Transform with the train input's profile, run on itself — and
     // the classification decisions must agree with a different seed's.
-    let a = privatize(&dijkstra::build(&dijkstra::Params { n: 12, seed: 1 }), &PipelineConfig::default()).unwrap();
-    let b = privatize(&dijkstra::build(&dijkstra::Params { n: 12, seed: 9 }), &PipelineConfig::default()).unwrap();
+    let a = privatize(
+        &dijkstra::build(&dijkstra::Params { n: 12, seed: 1 }),
+        &PipelineConfig::default(),
+    )
+    .unwrap();
+    let b = privatize(
+        &dijkstra::build(&dijkstra::Params { n: 12, seed: 9 }),
+        &PipelineConfig::default(),
+    )
+    .unwrap();
     assert_eq!(a.reports.len(), 1);
     assert_eq!(b.reports.len(), 1);
     assert_eq!(a.reports[0].heap_counts, b.reports[0].heap_counts);
@@ -112,7 +126,12 @@ fn dijkstra_parallel_with_injected_misspeculation() {
         inject_rate: 0.25,
         inject_seed: 33,
     };
-    let mut interp = Interp::new(&result.module, &image, NopHooks, MainRuntime::new(&image, cfg));
+    let mut interp = Interp::new(
+        &result.module,
+        &image,
+        NopHooks,
+        MainRuntime::new(&image, cfg),
+    );
     interp.run_main().unwrap();
     assert_eq!(interp.rt.take_output(), expected);
     assert!(interp.rt.stats.misspecs > 0);

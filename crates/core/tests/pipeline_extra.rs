@@ -17,7 +17,7 @@ fn two_compatible_hot_loops_both_selected() {
     let buf_b = m.add_global("buf_b", 64);
     let mut b = FunctionBuilder::new("main", vec![], None);
 
-    let mut emit_loop = |b: &mut FunctionBuilder, buf, n: i64, scale: i64| {
+    let emit_loop = |b: &mut FunctionBuilder, buf, n: i64, scale: i64| {
         let pre = b.current_block();
         let header = b.new_block();
         let body = b.new_block();
@@ -65,7 +65,12 @@ fn two_compatible_hot_loops_both_selected() {
         ..PipelineConfig::default()
     };
     let result = privatize(&m, &cfg).unwrap();
-    assert_eq!(result.reports.len(), 2, "both loops selected: {:?}", result.rejected);
+    assert_eq!(
+        result.reports.len(),
+        2,
+        "both loops selected: {:?}",
+        result.rejected
+    );
     assert_eq!(result.module.plans.len(), 2);
 
     let image = load_module(&result.module);
@@ -76,7 +81,12 @@ fn two_compatible_hot_loops_both_selected() {
             inject_rate: 0.0,
             inject_seed: 0,
         };
-        let mut interp = Interp::new(&result.module, &image, NopHooks, MainRuntime::new(&image, ecfg));
+        let mut interp = Interp::new(
+            &result.module,
+            &image,
+            NopHooks,
+            MainRuntime::new(&image, ecfg),
+        );
         interp.run_main().unwrap();
         assert_eq!(interp.rt.take_output(), expected);
         assert_eq!(interp.rt.stats.invocations, 2);
@@ -140,7 +150,11 @@ fn min_max_reductions_merge_correctly() {
     let expected = seq.rt.take_output();
     // Oracle: min/max of i^0x2B over 0..100.
     let vals: Vec<i64> = (0..100i64).map(|i| i ^ 0x2B).collect();
-    let want = format!("{}\n{}\n", vals.iter().min().unwrap(), vals.iter().max().unwrap());
+    let want = format!(
+        "{}\n{}\n",
+        vals.iter().min().unwrap(),
+        vals.iter().max().unwrap()
+    );
     assert_eq!(String::from_utf8_lossy(&expected), want);
 
     for workers in [2, 5] {
@@ -192,11 +206,20 @@ fn zero_trip_parallel_region() {
         &m,
         &image,
         NopHooks,
-        MainRuntime::new(&image, EngineConfig { workers: 3, ..EngineConfig::default() }),
+        MainRuntime::new(
+            &image,
+            EngineConfig {
+                workers: 3,
+                ..EngineConfig::default()
+            },
+        ),
     );
     interp.run_main().unwrap();
     assert_eq!(interp.rt.take_output(), b"0\n");
-    assert_eq!(interp.rt.stats.invocations, 0, "zero-trip region never invokes");
+    assert_eq!(
+        interp.rt.stats.invocations, 0,
+        "zero-trip region never invokes"
+    );
 }
 
 /// Rejection diagnostics name the obstruction.
@@ -297,7 +320,10 @@ fn automatic_min_max_reduction_pipeline() {
 
     let result = privatize(&m, &PipelineConfig::default()).unwrap();
     assert_eq!(result.reports.len(), 1, "{:?}", result.rejected);
-    assert_eq!(result.reports[0].heap_counts[2], 2, "both cells are reductions");
+    assert_eq!(
+        result.reports[0].heap_counts[2], 2,
+        "both cells are reductions"
+    );
 
     let image = load_module(&result.module);
     for workers in [2, 4] {
@@ -307,7 +333,12 @@ fn automatic_min_max_reduction_pipeline() {
             inject_rate: 0.0,
             inject_seed: 0,
         };
-        let mut interp = Interp::new(&result.module, &image, NopHooks, MainRuntime::new(&image, cfg));
+        let mut interp = Interp::new(
+            &result.module,
+            &image,
+            NopHooks,
+            MainRuntime::new(&image, cfg),
+        );
         interp.run_main().unwrap();
         assert_eq!(interp.rt.take_output(), expected, "workers {workers}");
         assert_eq!(interp.rt.stats.misspecs, 0);

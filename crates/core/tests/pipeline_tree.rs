@@ -116,7 +116,9 @@ fn tree_module(n: i64) -> Module {
         let c = b.icmp(CmpOp::Lt, i, Value::const_i64(n));
         b.cond_br(c, body, exit);
         b.switch_to(body);
-        let t = b.call(build_id, vec![Value::const_i64(3), i], Some(Type::Ptr)).unwrap();
+        let t = b
+            .call(build_id, vec![Value::const_i64(3), i], Some(Type::Ptr))
+            .unwrap();
         let s = b.call(fold_id, vec![t], Some(Type::I64)).unwrap();
         b.print_i64(s);
         b.call(drop_id, vec![t], None);
@@ -139,8 +141,8 @@ fn recursive_trees_are_short_lived_and_parallelize() {
     seq.run_main().unwrap();
     let expected = seq.rt.take_output();
 
-    let result = privatize(&m, &PipelineConfig::default())
-        .unwrap_or_else(|e| panic!("pipeline: {e}"));
+    let result =
+        privatize(&m, &PipelineConfig::default()).unwrap_or_else(|e| panic!("pipeline: {e}"));
     assert_eq!(result.reports.len(), 1, "{:?}", result.rejected);
     let r = &result.reports[0];
     // All tree nodes (one recursive allocation site, many dynamic
@@ -159,7 +161,12 @@ fn recursive_trees_are_short_lived_and_parallelize() {
             inject_rate: 0.0,
             inject_seed: 0,
         };
-        let mut interp = Interp::new(&result.module, &image, NopHooks, MainRuntime::new(&image, cfg));
+        let mut interp = Interp::new(
+            &result.module,
+            &image,
+            NopHooks,
+            MainRuntime::new(&image, cfg),
+        );
         interp.run_main().unwrap();
         assert_eq!(interp.rt.take_output(), expected, "workers {workers}");
         assert_eq!(interp.rt.stats.misspecs, 0);
@@ -182,7 +189,12 @@ fn recursive_trees_survive_misspeculation() {
         inject_rate: 0.25,
         inject_seed: 5,
     };
-    let mut interp = Interp::new(&result.module, &image, NopHooks, MainRuntime::new(&image, cfg));
+    let mut interp = Interp::new(
+        &result.module,
+        &image,
+        NopHooks,
+        MainRuntime::new(&image, cfg),
+    );
     interp.run_main().unwrap();
     assert_eq!(interp.rt.take_output(), expected);
     assert!(interp.rt.stats.misspecs > 0);

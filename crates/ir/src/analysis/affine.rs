@@ -346,7 +346,10 @@ mod tests {
             konst: 0,
             syms: BTreeMap::new(),
         };
-        assert_eq!(cross_iteration_test(&e, 8, &e, 8), DepTest::NoCrossIterationDep);
+        assert_eq!(
+            cross_iteration_test(&e, 8, &e, 8),
+            DepTest::NoCrossIterationDep
+        );
     }
 
     #[test]
@@ -371,7 +374,10 @@ mod tests {
         let e = LinExpr::constant(0);
         assert_eq!(cross_iteration_test(&e, 8, &e, 8), DepTest::MayDep);
         let far = LinExpr::constant(64);
-        assert_eq!(cross_iteration_test(&e, 8, &far, 8), DepTest::NoCrossIterationDep);
+        assert_eq!(
+            cross_iteration_test(&e, 8, &far, 8),
+            DepTest::NoCrossIterationDep
+        );
     }
 
     #[test]

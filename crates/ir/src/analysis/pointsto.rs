@@ -83,7 +83,8 @@ impl PointsTo {
         for f in module.func_ids() {
             for (i, inst) in module.func(f).insts.iter().enumerate() {
                 if inst.is_allocation() {
-                    a.all_objects.insert(AbstractObject::Site(f, InstId::new(i)));
+                    a.all_objects
+                        .insert(AbstractObject::Site(f, InstId::new(i)));
                 }
             }
         }
@@ -155,11 +156,7 @@ impl PointsTo {
                             for (n, &arg) in args.iter().enumerate() {
                                 changed |= a.flow_value(f, arg, Var::Param(*callee, n as u32));
                             }
-                            let ret = a
-                                .vars
-                                .get(&Var::Ret(*callee))
-                                .cloned()
-                                .unwrap_or_default();
+                            let ret = a.vars.get(&Var::Ret(*callee)).cloned().unwrap_or_default();
                             changed |= a.var_union(target, &ret);
                         }
                         _ => {}

@@ -1,6 +1,6 @@
 //! Programmatic IR construction.
 
-use crate::func::{BlockId, Function, FuncId, InstId};
+use crate::func::{BlockId, FuncId, Function, InstId};
 use crate::inst::{BinOp, CastOp, CmpOp, Inst, InstKind, Intrinsic, Term};
 use crate::types::Type;
 use crate::value::Value;

@@ -58,11 +58,13 @@ impl CountedLoop {
     }
 }
 
-fn defined_outside(func: &Function, blocks: &std::collections::BTreeSet<BlockId>, v: Value) -> bool {
+fn defined_outside(
+    func: &Function,
+    blocks: &std::collections::BTreeSet<BlockId>,
+    v: Value,
+) -> bool {
     match v {
-        Value::Inst(i) => func
-            .block_of(i)
-            .is_none_or(|bb| !blocks.contains(&bb)),
+        Value::Inst(i) => func.block_of(i).is_none_or(|bb| !blocks.contains(&bb)),
         _ => true,
     }
 }

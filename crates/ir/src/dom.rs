@@ -22,9 +22,8 @@ impl DomTree {
         idom[entry.index()] = Some(entry);
 
         let rpo = cfg.rpo();
-        let rpo_index: Vec<Option<usize>> = (0..n)
-            .map(|i| cfg.rpo_index(BlockId::new(i)))
-            .collect();
+        let rpo_index: Vec<Option<usize>> =
+            (0..n).map(|i| cfg.rpo_index(BlockId::new(i))).collect();
 
         let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
             let idx = |x: BlockId| rpo_index[x.index()].expect("reachable block");

@@ -168,9 +168,8 @@ impl Function {
 
     /// Iterate over `(block, inst)` pairs in layout order.
     pub fn inst_ids_in_order(&self) -> impl Iterator<Item = (BlockId, InstId)> + '_ {
-        self.block_ids().flat_map(move |bb| {
-            self.block(bb).insts.iter().map(move |&i| (bb, i))
-        })
+        self.block_ids()
+            .flat_map(move |bb| self.block(bb).insts.iter().map(move |&i| (bb, i)))
     }
 
     /// The block containing instruction `id`, if it is placed in a block.

@@ -162,7 +162,13 @@ impl BinOp {
     pub fn is_reduction_candidate(self) -> bool {
         matches!(
             self,
-            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::FAdd | BinOp::FMul
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::FAdd
+                | BinOp::FMul
         )
     }
 
@@ -226,7 +232,9 @@ impl CmpOp {
     /// Parse a mnemonic back into a predicate.
     pub fn from_mnemonic(s: &str) -> Option<CmpOp> {
         use CmpOp::*;
-        [Eq, Ne, Lt, Le, Gt, Ge].into_iter().find(|op| op.mnemonic() == s)
+        [Eq, Ne, Lt, Le, Gt, Ge]
+            .into_iter()
+            .find(|op| op.mnemonic() == s)
     }
 
     /// Evaluate the predicate over a three-way ordering.
@@ -282,9 +290,11 @@ impl CastOp {
     /// Parse a mnemonic back into an operator.
     pub fn from_mnemonic(s: &str) -> Option<CastOp> {
         use CastOp::*;
-        [Zext, Sext, Trunc, SiToFp, FpToSi, PtrToInt, IntToPtr, Bitcast]
-            .into_iter()
-            .find(|op| op.mnemonic() == s)
+        [
+            Zext, Sext, Trunc, SiToFp, FpToSi, PtrToInt, IntToPtr, Bitcast,
+        ]
+        .into_iter()
+        .find(|op| op.mnemonic() == s)
     }
 }
 
@@ -338,10 +348,18 @@ impl ReduxOp {
                 .wrapping_add(i64::from_le_bytes(b))
                 .to_le_bytes(),
             ReduxOp::SumF64 => (f64::from_le_bytes(a) + f64::from_le_bytes(b)).to_le_bytes(),
-            ReduxOp::MinI64 => i64::from_le_bytes(a).min(i64::from_le_bytes(b)).to_le_bytes(),
-            ReduxOp::MaxI64 => i64::from_le_bytes(a).max(i64::from_le_bytes(b)).to_le_bytes(),
-            ReduxOp::MinF64 => f64::from_le_bytes(a).min(f64::from_le_bytes(b)).to_le_bytes(),
-            ReduxOp::MaxF64 => f64::from_le_bytes(a).max(f64::from_le_bytes(b)).to_le_bytes(),
+            ReduxOp::MinI64 => i64::from_le_bytes(a)
+                .min(i64::from_le_bytes(b))
+                .to_le_bytes(),
+            ReduxOp::MaxI64 => i64::from_le_bytes(a)
+                .max(i64::from_le_bytes(b))
+                .to_le_bytes(),
+            ReduxOp::MinF64 => f64::from_le_bytes(a)
+                .min(f64::from_le_bytes(b))
+                .to_le_bytes(),
+            ReduxOp::MaxF64 => f64::from_le_bytes(a)
+                .max(f64::from_le_bytes(b))
+                .to_le_bytes(),
         }
     }
 
@@ -570,9 +588,10 @@ impl Inst {
                 f(*a);
                 f(*b);
             }
-            InstKind::Cast(_, v, _) | InstKind::Load(_, v) | InstKind::Free(v) | InstKind::Malloc(v) => {
-                f(*v)
-            }
+            InstKind::Cast(_, v, _)
+            | InstKind::Load(_, v)
+            | InstKind::Free(v)
+            | InstKind::Malloc(v) => f(*v),
             InstKind::Store(_, v, p) => {
                 f(*v);
                 f(*p);
@@ -607,9 +626,10 @@ impl Inst {
                 *a = f(*a);
                 *b = f(*b);
             }
-            InstKind::Cast(_, v, _) | InstKind::Load(_, v) | InstKind::Free(v) | InstKind::Malloc(v) => {
-                *v = f(*v)
-            }
+            InstKind::Cast(_, v, _)
+            | InstKind::Load(_, v)
+            | InstKind::Free(v)
+            | InstKind::Malloc(v) => *v = f(*v),
             InstKind::Store(_, v, p) => {
                 *v = f(*v);
                 *p = f(*p);
@@ -655,7 +675,9 @@ impl Inst {
     pub fn is_allocation(&self) -> bool {
         matches!(
             self.kind,
-            InstKind::Alloca { .. } | InstKind::Malloc(..) | InstKind::CallIntrinsic(Intrinsic::HAlloc(_), _)
+            InstKind::Alloca { .. }
+                | InstKind::Malloc(..)
+                | InstKind::CallIntrinsic(Intrinsic::HAlloc(_), _)
         )
     }
 }

@@ -51,7 +51,7 @@ pub mod types;
 pub mod value;
 pub mod verify;
 
-pub use func::{Block, BlockId, Function, FuncId};
+pub use func::{Block, BlockId, FuncId, Function};
 pub use inst::{BinOp, CastOp, CmpOp, Heap, Inst, InstId, InstKind, Intrinsic, ReduxOp, Term};
 pub use module::{Global, GlobalId, GlobalInit, Module, PlanEntry};
 pub use types::Type;

@@ -260,7 +260,11 @@ mod tests {
     #[test]
     fn function_signature_kept() {
         let mut m = Module::new("t");
-        let f = m.add_function(Function::new("f", vec![Type::I64, Type::Ptr], Some(Type::F64)));
+        let f = m.add_function(Function::new(
+            "f",
+            vec![Type::I64, Type::Ptr],
+            Some(Type::F64),
+        ));
         assert_eq!(m.func(f).params, vec![Type::I64, Type::Ptr]);
         assert_eq!(m.func(f).ret, Some(Type::F64));
     }

@@ -215,12 +215,10 @@ fn parse_global(ln: usize, rest: &str) -> Result<crate::module::Global> {
         return err(ln, "expected `size`");
     };
     let (size_str, tail) = sz.split_once(' ').unwrap_or((sz, ""));
-    let size: u64 = size_str
-        .parse()
-        .map_err(|_| ParseError {
-            line: ln,
-            msg: format!("bad size `{size_str}`"),
-        })?;
+    let size: u64 = size_str.parse().map_err(|_| ParseError {
+        line: ln,
+        msg: format!("bad size `{size_str}`"),
+    })?;
     after = tail.trim();
     let mut heap = None;
     if let Some(h) = after.strip_prefix("heap ") {
@@ -640,8 +638,16 @@ fn parse_inst(
             ln,
             format!(
                 "instruction {} a result but {} one",
-                if inst.ty.is_some() { "produces" } else { "does not produce" },
-                if has_result { "was assigned" } else { "was not assigned" }
+                if inst.ty.is_some() {
+                    "produces"
+                } else {
+                    "does not produce"
+                },
+                if has_result {
+                    "was assigned"
+                } else {
+                    "was not assigned"
+                }
             ),
         );
     }
@@ -709,7 +715,9 @@ mod tests {
         let c = b.fcmp(CmpOp::Gt, v, Value::const_f64(0.0));
         let s = b.select(Type::F64, c, v, Value::const_f64(-1.0));
         b.print_f64(s);
-        let r = b.call(helper_id, vec![Value::const_i64(41)], Some(Type::I64)).unwrap();
+        let r = b
+            .call(helper_id, vec![Value::const_i64(41)], Some(Type::I64))
+            .unwrap();
         b.print_i64(r);
         let ic = b.sitofp(r);
         b.print_f64(ic);

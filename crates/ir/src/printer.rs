@@ -67,7 +67,13 @@ pub fn print_function(module: &Module, func: &Function) -> String {
             };
             let body = match &inst.kind {
                 InstKind::Bin(op, a, b) => {
-                    format!("{} {} {}, {}", op.mnemonic(), inst.ty.expect("binop type"), v(*a), v(*b))
+                    format!(
+                        "{} {} {}, {}",
+                        op.mnemonic(),
+                        inst.ty.expect("binop type"),
+                        v(*a),
+                        v(*b)
+                    )
                 }
                 InstKind::Icmp(op, a, b) => format!("icmp {} {}, {}", op.mnemonic(), v(*a), v(*b)),
                 InstKind::Fcmp(op, a, b) => format!("fcmp {} {}, {}", op.mnemonic(), v(*a), v(*b)),
@@ -82,7 +88,11 @@ pub fn print_function(module: &Module, func: &Function) -> String {
                     index,
                     scale,
                     disp,
-                } => format!("gep {}, {}, scale {scale}, disp {disp}", v(*base), v(*index)),
+                } => format!(
+                    "gep {}, {}, scale {scale}, disp {disp}",
+                    v(*base),
+                    v(*index)
+                ),
                 InstKind::Call(callee, args) => {
                     let args = args.iter().map(|&a| v(a)).collect::<Vec<_>>().join(", ");
                     format!("call @\"{}\"({args})", module.func(*callee).name)
@@ -132,22 +142,38 @@ pub fn print_module(module: &Module) -> String {
             GlobalInit::Zero => "zero".to_string(),
             GlobalInit::Bytes(b) => format!(
                 "bytes [{}]",
-                b.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+                b.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             GlobalInit::I64s(v) => format!(
                 "i64 [{}]",
-                v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+                v.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             GlobalInit::I32s(v) => format!(
                 "i32 [{}]",
-                v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+                v.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             GlobalInit::F64s(v) => format!(
                 "f64 [{}]",
-                v.iter().map(|x| format!("{x:?}")).collect::<Vec<_>>().join(", ")
+                v.iter()
+                    .map(|x| format!("{x:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
         };
-        let _ = writeln!(out, "global \"{}\" size {}{} init {}", g.name, g.size, heap, init);
+        let _ = writeln!(
+            out,
+            "global \"{}\" size {}{} init {}",
+            g.name, g.size, heap, init
+        );
     }
     for plan in &module.plans {
         let _ = writeln!(

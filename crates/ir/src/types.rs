@@ -122,7 +122,14 @@ mod tests {
 
     #[test]
     fn display_parse_round_trip() {
-        for ty in [Type::I1, Type::I8, Type::I32, Type::I64, Type::F64, Type::Ptr] {
+        for ty in [
+            Type::I1,
+            Type::I8,
+            Type::I32,
+            Type::I64,
+            Type::F64,
+            Type::Ptr,
+        ] {
             let text = ty.to_string();
             assert_eq!(text.parse::<Type>().unwrap(), ty);
         }

@@ -56,7 +56,9 @@ impl Checker<'_> {
     fn expect_type(&mut self, ctx: &str, v: Value, want: Type) {
         match value_type(self.func, v) {
             Some(got) if got == want => {}
-            Some(got) => self.err(format!("{ctx}: operand {v} has type {got}, expected {want}")),
+            Some(got) => self.err(format!(
+                "{ctx}: operand {v} has type {got}, expected {want}"
+            )),
             None => self.err(format!("{ctx}: operand {v} has no type")),
         }
     }
@@ -85,7 +87,9 @@ impl Checker<'_> {
                 let ta = value_type(self.func, *a);
                 let tb = value_type(self.func, *b);
                 if ta != tb {
-                    self.err(format!("{ctx}: comparison of mismatched types {ta:?} vs {tb:?}"));
+                    self.err(format!(
+                        "{ctx}: comparison of mismatched types {ta:?} vs {tb:?}"
+                    ));
                 }
                 if matches!(inst.kind, InstKind::Fcmp(..)) {
                     self.expect_type(&ctx, *a, Type::F64);
@@ -228,7 +232,10 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
             }
             let is_phi = matches!(func.inst(i).kind, InstKind::Phi(..));
             if is_phi && seen_non_phi {
-                c.err(format!("{bb}: phi %{} after non-phi instructions", i.index()));
+                c.err(format!(
+                    "{bb}: phi %{} after non-phi instructions",
+                    i.index()
+                ));
             }
             if !is_phi {
                 seen_non_phi = true;
@@ -286,7 +293,10 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
         let check_use = |c: &mut Checker<'_>, user: String, v: Value, at_end_of: BlockId| {
             if let Value::Inst(def) = v {
                 match placed_in.get(&def) {
-                    None => c.err(format!("{user}: uses unplaced instruction %{}", def.index())),
+                    None => c.err(format!(
+                        "{user}: uses unplaced instruction %{}",
+                        def.index()
+                    )),
                     Some(&def_bb) => {
                         // A definition reaches the end of its own block, so
                         // `def_bb == at_end_of` is fine here; the same-block
@@ -391,11 +401,19 @@ mod tests {
     fn rejects_use_before_def_in_block() {
         let mut f = Function::new("bad", vec![], None);
         let later = f.add_inst(Inst {
-            kind: InstKind::Bin(crate::inst::BinOp::Add, Value::const_i64(1), Value::const_i64(2)),
+            kind: InstKind::Bin(
+                crate::inst::BinOp::Add,
+                Value::const_i64(1),
+                Value::const_i64(2),
+            ),
             ty: Some(Type::I64),
         });
         let user = f.add_inst(Inst {
-            kind: InstKind::Bin(crate::inst::BinOp::Add, Value::Inst(later), Value::const_i64(0)),
+            kind: InstKind::Bin(
+                crate::inst::BinOp::Add,
+                Value::Inst(later),
+                Value::const_i64(0),
+            ),
             ty: Some(Type::I64),
         });
         let entry = f.entry();

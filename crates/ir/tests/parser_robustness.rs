@@ -8,8 +8,16 @@ use proptest::prelude::*;
 fn error_cases_name_the_line() {
     let cases: &[(&str, usize, &str)] = &[
         ("garbage", 1, "unexpected line"),
-        ("module \"m\"\nfn \"f\"() -> void {\n  ret\n}\n", 3, "outside any block"),
-        ("module \"m\"\nfn \"f\"() -> bogus {\nbb0:\n  ret\n}\n", 2, "unknown type"),
+        (
+            "module \"m\"\nfn \"f\"() -> void {\n  ret\n}\n",
+            3,
+            "outside any block",
+        ),
+        (
+            "module \"m\"\nfn \"f\"() -> bogus {\nbb0:\n  ret\n}\n",
+            2,
+            "unknown type",
+        ),
         (
             "module \"m\"\nfn \"f\"() -> void {\nbb0:\n  %0 = load i32\n  ret\n}\n",
             4,
@@ -30,9 +38,21 @@ fn error_cases_name_the_line() {
             4,
             "unknown intrinsic",
         ),
-        ("module \"m\"\nplan @\"nope\" recovery @\"nope\"\n", 2, "unknown function"),
-        ("module \"m\"\nfn \"f\"() -> void {\nbb0:\n  condbr %0, bb0\n}\n", 4, "condbr takes"),
-        ("module \"m\"\nglobal \"g\" size x init zero\n", 2, "bad size"),
+        (
+            "module \"m\"\nplan @\"nope\" recovery @\"nope\"\n",
+            2,
+            "unknown function",
+        ),
+        (
+            "module \"m\"\nfn \"f\"() -> void {\nbb0:\n  condbr %0, bb0\n}\n",
+            4,
+            "condbr takes",
+        ),
+        (
+            "module \"m\"\nglobal \"g\" size x init zero\n",
+            2,
+            "bad size",
+        ),
         ("module \"m\"\nfn \"f\"() -> void {\n", 2, "unterminated"),
     ];
     for (src, line, needle) in cases {

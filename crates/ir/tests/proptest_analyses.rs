@@ -60,10 +60,7 @@ fn dominates_oracle(f: &Function, cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
 }
 
 fn edges_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, Option<usize>)>> {
-    prop::collection::vec(
-        (0..n, 0..n, prop::option::of(0..n)),
-        0..(2 * n),
-    )
+    prop::collection::vec((0..n, 0..n, prop::option::of(0..n)), 0..(2 * n))
 }
 
 proptest! {

@@ -33,8 +33,7 @@ fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
         prop_oneof![
             (0usize..8, prop::collection::vec(inner.clone(), 0..5))
                 .prop_map(|(c, body)| Stmt::If(c, body)),
-            (1u8..5, prop::collection::vec(inner, 0..4))
-                .prop_map(|(n, body)| Stmt::Loop(n, body)),
+            (1u8..5, prop::collection::vec(inner, 0..4)).prop_map(|(n, body)| Stmt::Loop(n, body)),
         ]
     })
 }
@@ -44,7 +43,14 @@ fn emit(b: &mut FunctionBuilder, stmts: &[Stmt], ints: &mut Vec<Value>, slots: &
     for s in stmts {
         match s {
             Stmt::Arith(op, a, x) => {
-                let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor];
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                ];
                 let op = ops[(*op as usize) % ops.len()];
                 let lhs = ints[a % ints.len()];
                 let rhs = ints[x % ints.len()];
@@ -122,7 +128,11 @@ fn build_module(stmts: &[Stmt]) -> Module {
     let mut m = Module::new("generated");
     let g = m.add_global_init("cells", 64, GlobalInit::I64s(vec![3; 8]));
     let mut b = FunctionBuilder::new("main", vec![], None);
-    let mut ints: Vec<Value> = vec![Value::const_i64(1), Value::const_i64(-7), Value::const_i64(40)];
+    let mut ints: Vec<Value> = vec![
+        Value::const_i64(1),
+        Value::const_i64(-7),
+        Value::const_i64(40),
+    ];
     let slots: Vec<Value> = (0..8)
         .map(|i| b.gep(Value::Global(g), Value::const_i64(i), 8, 0))
         .collect();

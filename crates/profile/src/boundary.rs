@@ -50,7 +50,10 @@ pub struct PredictedValue {
 impl BoundaryValueProfiler {
     /// Profile `targets` (`(addr, size)` pairs) at each iteration start of
     /// `lp`.
-    pub fn new(lp: LoopRef, targets: impl IntoIterator<Item = (u64, u32)>) -> BoundaryValueProfiler {
+    pub fn new(
+        lp: LoopRef,
+        targets: impl IntoIterator<Item = (u64, u32)>,
+    ) -> BoundaryValueProfiler {
         BoundaryValueProfiler {
             lp: Some(lp),
             targets: targets
@@ -85,7 +88,10 @@ impl BoundaryValueProfiler {
 
     /// Predictions as a map keyed by address.
     pub fn predictions_by_addr(&self) -> BTreeMap<u64, PredictedValue> {
-        self.predictions().into_iter().map(|p| (p.addr, p)).collect()
+        self.predictions()
+            .into_iter()
+            .map(|p| (p.addr, p))
+            .collect()
     }
 }
 

@@ -156,9 +156,17 @@ mod tests {
         m.insert(0, 10, "a");
         m.insert(10, 20, "b");
         m.insert(30, 40, "c");
-        let hits: Vec<&str> = m.query_range(5, 35).into_iter().map(|(_, _, v)| *v).collect();
+        let hits: Vec<&str> = m
+            .query_range(5, 35)
+            .into_iter()
+            .map(|(_, _, v)| *v)
+            .collect();
         assert_eq!(hits, vec!["a", "b", "c"]);
-        let hits: Vec<&str> = m.query_range(10, 11).into_iter().map(|(_, _, v)| *v).collect();
+        let hits: Vec<&str> = m
+            .query_range(10, 11)
+            .into_iter()
+            .map(|(_, _, v)| *v)
+            .collect();
         assert_eq!(hits, vec!["b"]);
     }
 

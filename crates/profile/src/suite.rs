@@ -150,7 +150,9 @@ impl ProfileSuite {
         for g in module.global_ids() {
             let addr = image.global_addrs[g.index()];
             let size = module.global(g).size.max(1);
-            suite.objmap.insert(addr, addr + size, ObjectName::Global(g));
+            suite
+                .objmap
+                .insert(addr, addr + size, ObjectName::Global(g));
         }
         suite
     }
@@ -252,12 +254,28 @@ impl ProfileSuite {
 }
 
 impl Hooks for ProfileSuite {
-    fn on_load(&mut self, ctx: &ExecCtx, func: FuncId, inst: InstId, addr: u64, size: u32, _mem: &AddressSpace) {
+    fn on_load(
+        &mut self,
+        ctx: &ExecCtx,
+        func: FuncId,
+        inst: InstId,
+        addr: u64,
+        size: u32,
+        _mem: &AddressSpace,
+    ) {
         self.record_access(ctx, func, inst, addr, size);
         self.note_flow(ctx, (func, inst), addr, size);
     }
 
-    fn on_store(&mut self, ctx: &ExecCtx, func: FuncId, inst: InstId, addr: u64, size: u32, _mem: &AddressSpace) {
+    fn on_store(
+        &mut self,
+        ctx: &ExecCtx,
+        func: FuncId,
+        inst: InstId,
+        addr: u64,
+        size: u32,
+        _mem: &AddressSpace,
+    ) {
         self.record_access(ctx, func, inst, addr, size);
         let info = Rc::new(WriterInfo {
             src: (func, inst),
@@ -268,7 +286,15 @@ impl Hooks for ProfileSuite {
         }
     }
 
-    fn on_alloc(&mut self, ctx: &ExecCtx, func: FuncId, inst: InstId, addr: u64, size: u64, _kind: AllocKind) {
+    fn on_alloc(
+        &mut self,
+        ctx: &ExecCtx,
+        func: FuncId,
+        inst: InstId,
+        addr: u64,
+        size: u64,
+        _kind: AllocKind,
+    ) {
         let name = ObjectName::Site {
             site: (func, inst),
             path: ctx.call_path(),
@@ -305,11 +331,24 @@ impl Hooks for ProfileSuite {
     }
 
     fn on_loop_enter(&mut self, _ctx: &ExecCtx, func: FuncId, loop_id: LoopId) {
-        self.loop_stats.entry((func, loop_id)).or_default().invocations += 1;
+        self.loop_stats
+            .entry((func, loop_id))
+            .or_default()
+            .invocations += 1;
     }
 
-    fn on_loop_iter(&mut self, _ctx: &ExecCtx, func: FuncId, loop_id: LoopId, _iter: u64, _mem: &AddressSpace) {
-        self.loop_stats.entry((func, loop_id)).or_default().total_iters += 1;
+    fn on_loop_iter(
+        &mut self,
+        _ctx: &ExecCtx,
+        func: FuncId,
+        loop_id: LoopId,
+        _iter: u64,
+        _mem: &AddressSpace,
+    ) {
+        self.loop_stats
+            .entry((func, loop_id))
+            .or_default()
+            .total_iters += 1;
     }
 
     fn on_block(&mut self, _ctx: &ExecCtx, func: FuncId, block: BlockId) {

@@ -120,13 +120,19 @@ fn profile_identifies_reuse_patterns() {
         .iter()
         .flat_map(|(_, info)| info.addrs.iter().copied())
         .collect();
-    assert!(all_addrs.iter().all(|&a| (acc_addr..acc_addr + 8).contains(&a)),
-        "cross-iteration flow must only be through acc_cell: {all_addrs:?}");
+    assert!(
+        all_addrs
+            .iter()
+            .all(|&a| (acc_addr..acc_addr + 8).contains(&a)),
+        "cross-iteration flow must only be through acc_cell: {all_addrs:?}"
+    );
 
     // The table is written then read within each iteration: no
     // cross-iteration flow dep lands in its range.
     let table_addr = image.global_addrs[m.global_by_name("table").unwrap().index()];
-    assert!(all_addrs.iter().all(|&a| !(table_addr..table_addr + 64).contains(&a)));
+    assert!(all_addrs
+        .iter()
+        .all(|&a| !(table_addr..table_addr + 64).contains(&a)));
 
     // Every block of main executed.
     for bb in m.func(main).block_ids() {
@@ -197,7 +203,12 @@ fn branch_bias_and_hotness_measured() {
     let c = b.icmp(CmpOp::Lt, i, Value::const_i64(50));
     b.cond_br(c, body, exit);
     b.switch_to(body);
-    let r = b.bin(privateer_ir::BinOp::SRem, Type::I64, i, Value::const_i64(10));
+    let r = b.bin(
+        privateer_ir::BinOp::SRem,
+        Type::I64,
+        i,
+        Value::const_i64(10),
+    );
     let is0 = b.icmp(CmpOp::Eq, r, Value::const_i64(0));
     b.cond_br(is0, rare, join);
     b.switch_to(rare);

@@ -15,8 +15,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u64..400, 1u64..40, any::<u32>())
-            .prop_map(|(start, len, tag)| Op::Insert { start, len, tag }),
+        (0u64..400, 1u64..40, any::<u32>()).prop_map(|(start, len, tag)| Op::Insert {
+            start,
+            len,
+            tag
+        }),
         (0u64..400).prop_map(|start| Op::RemoveAt { start }),
         (0u64..450).prop_map(|addr| Op::Query { addr }),
     ]

@@ -98,48 +98,77 @@ impl CheckpointMerge {
             .map(|(base, p)| (*base, p))
             .collect();
         for (sbase, spage) in &contrib.shadow_pages {
-            // Fast skip: untouched pages carry only live-in/old-write.
-            if spage.iter().all(|&m| m <= shadow::OLD_WRITE) {
-                continue;
-            }
             let pbase = *sbase & !SHADOW_BIT;
-            for (off, &meta) in spage.iter().enumerate() {
-                if meta <= shadow::OLD_WRITE {
+            // Word-granular skip: untouched runs carry only
+            // live-in/old-write metadata, so whole 8-byte words are
+            // dismissed with a single compare (shadow::word); only words
+            // containing read-live-in or timestamp bytes walk per-byte.
+            for (wi, group) in spage.chunks_exact(8).enumerate() {
+                let w = u64::from_le_bytes(group.try_into().unwrap());
+                if shadow::word::all_le_old_write(w) {
                     continue;
                 }
-                let baddr = pbase + off as u64;
-                if meta == shadow::READ_LIVE_IN {
-                    // Stale read: an earlier *period* wrote this byte; the
-                    // worker read its pre-invocation fork instead.
-                    if committed.read_u8(baddr | SHADOW_BIT) == shadow::OLD_WRITE {
-                        return Err(privacy(baddr, "read of a value committed by an earlier iteration (stale live-in)"));
-                    }
-                    if self.written.contains_key(&baddr) {
-                        return Err(privacy(baddr, "cross-worker read/write conflict on a live-in byte (conservative)"));
-                    }
-                    self.read_live_in.insert(baddr);
-                } else {
-                    // A timestamped write.
-                    if self.read_live_in.contains(&baddr) {
-                        return Err(privacy(baddr, "cross-worker read/write conflict on a live-in byte (conservative)"));
-                    }
-                    let value = priv_lookup
-                        .get(&(baddr & !(PAGE_SIZE - 1)))
-                        .map(|p| p[(baddr & (PAGE_SIZE - 1)) as usize])
-                        .unwrap_or(0);
-                    match self.written.get(&baddr) {
-                        Some(&(prev_ts, _)) if prev_ts >= meta => {}
-                        _ => {
-                            self.written.insert(baddr, (meta, value));
-                        }
-                    }
-                }
+                self.add_word(wi, group, pbase, &priv_lookup, committed)?;
             }
         }
         for (i, img) in contrib.redux_images.into_iter().enumerate() {
             self.redux_images[i].push(img);
         }
         self.io.extend(contrib.io);
+        Ok(())
+    }
+
+    /// Merge one 8-byte shadow word known to contain at least one touched
+    /// byte (the per-byte path of [`Self::add`]).
+    fn add_word(
+        &mut self,
+        wi: usize,
+        group: &[u8],
+        pbase: u64,
+        priv_lookup: &HashMap<u64, &Arc<Page>>,
+        committed: &AddressSpace,
+    ) -> Result<(), Trap> {
+        for (bi, &meta) in group.iter().enumerate() {
+            if meta <= shadow::OLD_WRITE {
+                continue;
+            }
+            let baddr = pbase + (wi * 8 + bi) as u64;
+            if meta == shadow::READ_LIVE_IN {
+                // Stale read: an earlier *period* wrote this byte; the
+                // worker read its pre-invocation fork instead.
+                if committed.read_u8(baddr | SHADOW_BIT) == shadow::OLD_WRITE {
+                    return Err(privacy(
+                        baddr,
+                        "read of a value committed by an earlier iteration (stale live-in)",
+                    ));
+                }
+                if self.written.contains_key(&baddr) {
+                    return Err(privacy(
+                        baddr,
+                        "cross-worker read/write conflict on a live-in byte (conservative)",
+                    ));
+                }
+                self.read_live_in.insert(baddr);
+            } else {
+                // A timestamped write.
+                if self.read_live_in.contains(&baddr) {
+                    return Err(privacy(
+                        baddr,
+                        "cross-worker read/write conflict on a live-in byte (conservative)",
+                    ));
+                }
+                let value = priv_lookup
+                    .get(&(baddr & !(PAGE_SIZE - 1)))
+                    .map(|p| p[(baddr & (PAGE_SIZE - 1)) as usize])
+                    .unwrap_or(0);
+                match self.written.get(&baddr) {
+                    Some(&(prev_ts, _)) if prev_ts >= meta => {}
+                    _ => {
+                        self.written.insert(baddr, (meta, value));
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -189,7 +218,12 @@ mod tests {
         (WorkerRuntime::new(0, 0.0, 0), AddressSpace::new())
     }
 
-    fn contrib_of(worker: usize, period: u64, mem: &AddressSpace, rt: &mut WorkerRuntime) -> Contribution {
+    fn contrib_of(
+        worker: usize,
+        period: u64,
+        mem: &AddressSpace,
+        rt: &mut WorkerRuntime,
+    ) -> Contribution {
         collect_contribution(worker, period, mem, &[], rt.take_io())
     }
 
@@ -212,8 +246,12 @@ mod tests {
 
         let mut committed = AddressSpace::new();
         let mut merge = CheckpointMerge::new(0);
-        merge.add(contrib_of(0, 0, &m0, &mut r0), &committed).unwrap();
-        merge.add(contrib_of(1, 0, &m1, &mut r1), &committed).unwrap();
+        merge
+            .add(contrib_of(0, 0, &m0, &mut r0), &committed)
+            .unwrap();
+        merge
+            .add(contrib_of(1, 0, &m1, &mut r1), &committed)
+            .unwrap();
         assert_eq!(merge.written_bytes(), 1);
         merge.commit(&mut committed);
         // Iteration 1 is sequentially later: its value wins.
@@ -273,7 +311,11 @@ mod tests {
             let c0 = Contribution { io: vec![], ..c0 };
             let c1 = contrib_of(1, 0, &m1, &mut WorkerRuntime::new(1, 0.0, 0));
             let c1 = Contribution { io: vec![], ..c1 };
-            let (first, second) = if order { (c0.clone(), c1.clone()) } else { (c1, c0) };
+            let (first, second) = if order {
+                (c0.clone(), c1.clone())
+            } else {
+                (c1, c0)
+            };
             let r = merge
                 .add(first, &committed)
                 .and_then(|()| merge.add(second, &committed));
@@ -335,8 +377,15 @@ mod tests {
             redux_images: vec![],
             io,
         };
-        merge.add(mk(0, vec![(2, b"c".to_vec()), (0, b"a".to_vec())]), &committed).unwrap();
-        merge.add(mk(1, vec![(1, b"b".to_vec())]), &committed).unwrap();
+        merge
+            .add(
+                mk(0, vec![(2, b"c".to_vec()), (0, b"a".to_vec())]),
+                &committed,
+            )
+            .unwrap();
+        merge
+            .add(mk(1, vec![(1, b"b".to_vec())]), &committed)
+            .unwrap();
         let mut out = Vec::new();
         for (_, bytes) in merge.commit(&mut AddressSpace::new()) {
             out.extend(bytes);

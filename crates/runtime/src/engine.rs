@@ -123,6 +123,12 @@ pub struct EngineStats {
     pub priv_write_ns: u64,
     /// Σ worker checkpoint-packaging time + engine merge time (ns).
     pub checkpoint_ns: u64,
+    /// Σ 8-byte shadow words handled by the word-granular (SWAR) privacy
+    /// fast path across all workers.
+    pub priv_fast_words: u64,
+    /// Σ shadow bytes that took the per-byte slow path (sub-word tails and
+    /// trap-candidate words) across all workers.
+    pub priv_slow_bytes: u64,
     /// Host-independent simulated-cycle accounting (see
     /// [`crate::model`]).
     pub sim: SimCost,
@@ -133,8 +139,10 @@ impl EngineStats {
     /// `(useful, private read, private write, checkpoint, spawn/join)`.
     pub fn breakdown(&self) -> (f64, f64, f64, f64, f64) {
         let cap = self.capacity_ns.max(1) as f64;
-        let useful =
-            self.body_ns.saturating_sub(self.priv_read_ns + self.priv_write_ns) as f64 / cap;
+        let useful = self
+            .body_ns
+            .saturating_sub(self.priv_read_ns + self.priv_write_ns) as f64
+            / cap;
         let pr = self.priv_read_ns as f64 / cap;
         let pw = self.priv_write_ns as f64 / cap;
         let ck = self.checkpoint_ns as f64 / cap;
@@ -252,8 +260,19 @@ impl MainRuntime {
                 let redux = redux.clone();
                 scope.spawn(move || {
                     worker_main(
-                        w, w_count, module, global_addrs, body, lo, hi, k, cfg, worker_mem, &redux,
-                        tx, flag,
+                        w,
+                        w_count,
+                        module,
+                        global_addrs,
+                        body,
+                        lo,
+                        hi,
+                        k,
+                        cfg,
+                        worker_mem,
+                        &redux,
+                        tx,
+                        flag,
                     );
                 });
             }
@@ -295,15 +314,18 @@ impl MainRuntime {
                         self.stats.priv_read_bytes += stats.priv_read_bytes;
                         self.stats.priv_write_bytes += stats.priv_write_bytes;
                         self.stats.checkpoint_ns += stats.checkpoint_ns;
+                        self.stats.priv_fast_words += stats.priv_fast_words;
+                        self.stats.priv_slow_bytes += stats.priv_slow_bytes;
                         self.stats.iters_speculative += stats.iters;
                         // Simulated-time model: the slowest worker bounds
                         // the span.
-                        let priv_cost = (stats.priv_read_bytes + stats.priv_write_bytes)
-                            * model::PRIV_BYTE;
+                        let priv_cost =
+                            (stats.priv_read_bytes + stats.priv_write_bytes) * model::PRIV_BYTE;
                         let package_cost = stats.contrib_pages * model::PACKAGE_PAGE;
                         let busy = stats.insts + priv_cost + package_cost;
                         max_busy = max_busy.max(busy);
-                        let checks = stats.priv_read_calls + stats.priv_write_calls + stats.check_calls;
+                        let checks =
+                            stats.priv_read_calls + stats.priv_write_calls + stats.check_calls;
                         self.stats.sim.useful += stats.insts.saturating_sub(checks);
                         self.stats.sim.priv_read +=
                             stats.priv_read_bytes * model::PRIV_BYTE + stats.priv_read_calls;
@@ -383,7 +405,8 @@ impl MainRuntime {
 
             if outcome.is_ok() {
                 if let Some((iter, kind)) = earliest {
-                    self.events.push(EngineEvent::MisspecDetected { iter, kind });
+                    self.events
+                        .push(EngineEvent::MisspecDetected { iter, kind });
                     let _ = kind;
                     outcome = Ok(SpanOutcome::Misspec {
                         iter,
@@ -396,10 +419,8 @@ impl MainRuntime {
         let wall = span_t0.elapsed().as_nanos() as u64;
         self.stats.wall_ns += wall;
         self.stats.capacity_ns += wall * w_count as u64;
-        let span_sim = model::SPAWN_BASE
-            + model::SPAWN_PER_WORKER * w_count as u64
-            + max_busy
-            + merge_sim;
+        let span_sim =
+            model::SPAWN_BASE + model::SPAWN_PER_WORKER * w_count as u64 + max_busy + merge_sim;
         self.stats.sim.total += span_sim;
         self.stats.sim.capacity += span_sim * w_count as u64;
         self.stats.sim.checkpoint += merge_sim;
@@ -487,7 +508,8 @@ fn worker_main(
             break;
         }
         // This worker's iterations within the period (cyclic assignment).
-        let mut iter = pbase + ((w as i64 - (pbase - lo) % w_count as i64).rem_euclid(w_count as i64));
+        let mut iter =
+            pbase + ((w as i64 - (pbase - lo) % w_count as i64).rem_euclid(w_count as i64));
         while iter < pend {
             let f = flag.load(Ordering::SeqCst);
             if f != i64::MAX && (f - lo) / k <= period as i64 {

@@ -7,12 +7,11 @@
 //! the shared heaps — their only in-loop allocations are short-lived and
 //! come from per-worker arenas (see [`worker_shortlived_arena`]).
 
-use parking_lot::Mutex;
 use privateer_ir::Heap;
 use privateer_vm::interp::ProgramImage;
 use privateer_vm::{RegionAllocator, Trap, PAGE_SIZE};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Span of the allocator-managed part of each heap (1 TiB; the address
 /// layout would allow 16 TiB).
@@ -40,6 +39,13 @@ pub struct SharedHeaps {
 }
 
 impl SharedHeaps {
+    /// Lock the allocator map; a panic while holding the lock poisons it,
+    /// but allocator state stays consistent (every mutation is a single
+    /// call), so poisoned locks are safe to keep using.
+    fn lock(&self) -> MutexGuard<'_, HashMap<Heap, RegionAllocator>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Allocators starting after the image's statically placed globals.
     pub fn new(image: &ProgramImage) -> SharedHeaps {
         let mut map = HashMap::new();
@@ -62,8 +68,7 @@ impl SharedHeaps {
     ///
     /// [`Trap::OutOfMemory`] when the heap range is exhausted.
     pub fn alloc(&self, heap: Heap, size: u64) -> Result<u64, Trap> {
-        self.inner
-            .lock()
+        self.lock()
             .get_mut(&heap)
             .expect("all heaps present")
             .alloc(size)
@@ -76,8 +81,7 @@ impl SharedHeaps {
     ///
     /// Traps on a free of an unallocated address.
     pub fn free(&self, heap: Heap, addr: u64) -> Result<(), Trap> {
-        self.inner
-            .lock()
+        self.lock()
             .get_mut(&heap)
             .expect("all heaps present")
             .free(addr)
@@ -87,12 +91,18 @@ impl SharedHeaps {
     /// Highest address handed out in `heap` (exclusive) — the upper bound
     /// of the range checkpoints need to scan.
     pub fn high_water(&self, heap: Heap) -> u64 {
-        self.inner.lock().get(&heap).expect("all heaps present").high_water()
+        self.lock()
+            .get(&heap)
+            .expect("all heaps present")
+            .high_water()
     }
 
     /// Number of live allocations in `heap`.
     pub fn live_count(&self, heap: Heap) -> u64 {
-        self.inner.lock().get(&heap).expect("all heaps present").live_count
+        self.lock()
+            .get(&heap)
+            .expect("all heaps present")
+            .live_count
     }
 }
 

@@ -99,6 +99,113 @@ pub fn normalize(meta: u8) -> u8 {
     }
 }
 
+/// Word-granular (SWAR) fast paths: apply the Table 2 transition to eight
+/// shadow bytes at once.
+///
+/// All operations here are lane-wise over the eight bytes of a `u64`, so
+/// they are endianness-agnostic as long as loads and stores use the same
+/// byte order; callers use little-endian throughout. The fast path covers
+/// every word that cannot trap — uniform live-in/old-write words under a
+/// write (the privatization "kill" pattern), and intra-iteration reuse
+/// where a word is already at the current timestamp — and signals
+/// [`word::Outcome::Fallback`] for any word containing a trap candidate, which
+/// the caller re-processes with the per-byte [`transition`] so trap kinds,
+/// messages and partial-mutation order stay byte-identical to the
+/// reference semantics.
+pub mod word {
+    use super::{Access, LIVE_IN, READ_LIVE_IN};
+
+    /// Bytes per SWAR word.
+    pub const BYTES: u64 = 8;
+    /// The high bit of every byte lane.
+    pub const HI: u64 = 0x8080_8080_8080_8080;
+
+    /// `b` replicated into every byte lane.
+    pub const fn splat(b: u8) -> u64 {
+        u64::from_ne_bytes([b; 8])
+    }
+
+    /// `0x80` in every lane whose byte is zero.
+    ///
+    /// This is the carry-free exact variant of the classic
+    /// `x.wrapping_sub(splat(0x01)) & !x & splat(0x80)` zero-byte test:
+    /// that formula is exact only up to the first zero byte (a borrow can
+    /// flag a following `0x01` lane), whereas the formula here never
+    /// crosses lanes, so every lane is reported exactly.
+    pub const fn zero_mask(x: u64) -> u64 {
+        let low7_sum = (x & !HI).wrapping_add(!HI);
+        !(low7_sum | x) & HI
+    }
+
+    /// `0x80` in every lane of `w` whose byte equals `b`.
+    pub const fn eq_mask(w: u64, b: u8) -> u64 {
+        zero_mask(w ^ splat(b))
+    }
+
+    /// Expand a `0x80`-per-lane mask into a `0xFF`-per-lane mask.
+    pub const fn expand(m: u64) -> u64 {
+        (m >> 7).wrapping_mul(0xFF)
+    }
+
+    /// Whether every lane is [`LIVE_IN`] or [`super::OLD_WRITE`] — the
+    /// "untouched since the last checkpoint" test used to skip whole
+    /// words during checkpoint scans.
+    pub const fn all_le_old_write(w: u64) -> bool {
+        w & splat(0xFE) == 0
+    }
+
+    /// Result of attempting a word-granular transition.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Outcome {
+        /// Every lane passes; the word's metadata after the access (which
+        /// may equal the input word).
+        Pass(u64),
+        /// At least one lane would trap; the caller must re-run the
+        /// per-byte [`super::transition`] over this word to reproduce the
+        /// exact trap and partial-mutation order.
+        Fallback,
+    }
+
+    /// Apply one Table 2 transition to all eight lanes of `w` in O(1).
+    ///
+    /// Returns [`Outcome::Pass`] exactly when the per-byte [`super::transition`]
+    /// would succeed for every lane, with the identical resulting
+    /// metadata; [`Outcome::Fallback`] exactly when some lane would trap.
+    pub fn transition_word(access: Access, w: u64, cur: u8) -> Outcome {
+        debug_assert!(cur >= super::TS_BASE);
+        match access {
+            Access::Write => {
+                // A write traps only on read-live-in; every other byte
+                // value becomes the current timestamp.
+                if eq_mask(w, READ_LIVE_IN) != 0 {
+                    Outcome::Fallback
+                } else {
+                    Outcome::Pass(splat(cur))
+                }
+            }
+            Access::Read => {
+                // A read passes on {live-in, read-live-in, cur}: the
+                // first two become read-live-in, cur stays put. Any other
+                // byte (old-write or a foreign timestamp) traps.
+                let ok = eq_mask(w, LIVE_IN) | eq_mask(w, READ_LIVE_IN) | eq_mask(w, cur);
+                if ok != HI {
+                    return Outcome::Fallback;
+                }
+                let keep = expand(eq_mask(w, cur));
+                Outcome::Pass((keep & splat(cur)) | (!keep & splat(READ_LIVE_IN)))
+            }
+        }
+    }
+
+    /// Word-granular [`super::normalize`]: lanes holding [`LIVE_IN`] or
+    /// [`READ_LIVE_IN`] become [`LIVE_IN`]; every other lane becomes
+    /// [`super::OLD_WRITE`].
+    pub const fn normalize_word(w: u64) -> u64 {
+        let to_live_in = eq_mask(w, LIVE_IN) | eq_mask(w, READ_LIVE_IN);
+        !expand(to_live_in) & splat(super::OLD_WRITE)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,9 +292,116 @@ mod tests {
         for i in 0..50u64 {
             let ts = ts_code(i);
             // write then read, same iteration
-            let m = transition(Access::Write, if i == 0 { LIVE_IN } else { OLD_WRITE }, ts).unwrap();
+            let m =
+                transition(Access::Write, if i == 0 { LIVE_IN } else { OLD_WRITE }, ts).unwrap();
             let m = transition(Access::Read, m, ts).unwrap();
             assert_eq!(m, ts);
         }
+    }
+
+    /// Tiny deterministic generator for mixed-lane word tests (xorshift64*).
+    fn rng_words(seed: u64, n: usize) -> Vec<u64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eq_mask_is_exact_per_lane() {
+        // Includes the adjacent-lane case (0x00 next to 0x01) where the
+        // classic borrow-propagating formula reports a false positive.
+        let w = u64::from_le_bytes([0x00, 0x01, 0x02, 0x80, 0xFF, 0x01, 0x00, 0x7F]);
+        assert_eq!(word::eq_mask(w, 0x00), 0x0080_0000_0000_0080);
+        assert_eq!(word::eq_mask(w, 0x01), 0x0000_8000_0000_8000);
+        assert_eq!(word::eq_mask(w, 0xFF), 0x0000_0080_0000_0000);
+        for &w in &rng_words(7, 200) {
+            for b in [0u8, 1, 2, B, 0x80, 0xFF] {
+                let expected =
+                    u64::from_le_bytes(w.to_le_bytes().map(|x| if x == b { 0x80 } else { 0 }));
+                assert_eq!(word::eq_mask(w, b), expected, "w={w:#018x} b={b}");
+            }
+        }
+    }
+
+    /// `transition_word` agrees with the per-byte `transition` on every
+    /// uniform word, for both access kinds.
+    #[test]
+    fn transition_word_matches_bytewise_uniform() {
+        for byte in 0..=255u8 {
+            let w = word::splat(byte);
+            for access in [Access::Read, Access::Write] {
+                let per_byte: Result<u8, _> = transition(access, byte, B);
+                match (word::transition_word(access, w, B), per_byte) {
+                    (word::Outcome::Pass(new), Ok(b)) => {
+                        assert_eq!(new, word::splat(b), "byte={byte} {access:?}");
+                    }
+                    (word::Outcome::Fallback, Err(_)) => {}
+                    (got, want) => panic!("byte={byte} {access:?}: {got:?} vs {want:?}"),
+                }
+            }
+        }
+    }
+
+    /// `transition_word` agrees with the per-byte `transition` lane-by-lane
+    /// on random mixed words: Pass iff every lane passes, with identical
+    /// resulting metadata.
+    #[test]
+    fn transition_word_matches_bytewise_mixed() {
+        for &w in &rng_words(42, 4000) {
+            for access in [Access::Read, Access::Write] {
+                let lanes = w.to_le_bytes();
+                let per_lane: Vec<Result<u8, Trap>> =
+                    lanes.iter().map(|&b| transition(access, b, B)).collect();
+                let all_ok = per_lane.iter().all(Result::is_ok);
+                match word::transition_word(access, w, B) {
+                    word::Outcome::Pass(new) => {
+                        assert!(all_ok, "w={w:#018x} {access:?} passed but a lane traps");
+                        let mut expect = [0u8; 8];
+                        for (e, r) in expect.iter_mut().zip(&per_lane) {
+                            *e = *r.as_ref().unwrap();
+                        }
+                        assert_eq!(new.to_le_bytes(), expect, "w={w:#018x} {access:?}");
+                    }
+                    word::Outcome::Fallback => {
+                        assert!(
+                            !all_ok,
+                            "w={w:#018x} {access:?} fell back but all lanes pass"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_word_matches_bytewise() {
+        for &w in &rng_words(99, 2000) {
+            let expect = w.to_le_bytes().map(normalize);
+            assert_eq!(word::normalize_word(w).to_le_bytes(), expect, "w={w:#018x}");
+        }
+        // All 256 uniform words too.
+        for byte in 0..=255u8 {
+            assert_eq!(
+                word::normalize_word(word::splat(byte)),
+                word::splat(normalize(byte))
+            );
+        }
+    }
+
+    #[test]
+    fn all_le_old_write_matches_bytewise() {
+        for &w in &rng_words(3, 2000) {
+            let expect = w.to_le_bytes().iter().all(|&b| b <= OLD_WRITE);
+            assert_eq!(word::all_le_old_write(w), expect, "w={w:#018x}");
+        }
+        assert!(word::all_le_old_write(0));
+        assert!(word::all_le_old_write(word::splat(OLD_WRITE)));
+        assert!(!word::all_le_old_write(word::splat(READ_LIVE_IN)));
     }
 }

@@ -191,36 +191,35 @@ impl RuntimeIface for UncheckedDoallRuntime {
         let base = mem.fork();
 
         type WorkerResult = Result<(AddressSpace, Vec<(i64, Vec<u8>)>, u64), Trap>;
-        let results: Vec<WorkerResult> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..w_count)
-                    .map(|w| {
-                        let worker_mem = base.fork();
-                        scope.spawn(move || {
-                            let rt = PlainWorkerRt::default();
-                            let mut interp = Interp::with_mem(
-                                module,
-                                worker_mem,
-                                global_addrs.to_vec(),
-                                NopHooks,
-                                rt,
-                            );
-                            let mut iter = lo + w as i64;
-                            while iter < hi {
-                                interp.rt.cur_iter = iter;
-                                interp.call_function(plan.body, &[Val::Int(iter)])?;
-                                iter += w_count as i64;
-                            }
-                            let io = std::mem::take(&mut interp.rt.io);
-                            Ok((interp.mem, io, interp.stats.insts))
-                        })
+        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..w_count)
+                .map(|w| {
+                    let worker_mem = base.fork();
+                    scope.spawn(move || {
+                        let rt = PlainWorkerRt::default();
+                        let mut interp = Interp::with_mem(
+                            module,
+                            worker_mem,
+                            global_addrs.to_vec(),
+                            NopHooks,
+                            rt,
+                        );
+                        let mut iter = lo + w as i64;
+                        while iter < hi {
+                            interp.rt.cur_iter = iter;
+                            interp.call_function(plan.body, &[Val::Int(iter)])?;
+                            iter += w_count as i64;
+                        }
+                        let io = std::mem::take(&mut interp.rt.io);
+                        Ok((interp.mem, io, interp.stats.insts))
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
 
         let mut worker_mems = Vec::with_capacity(w_count);
         let mut io: Vec<(i64, Vec<u8>)> = Vec::new();
@@ -253,9 +252,7 @@ impl RuntimeIface for UncheckedDoallRuntime {
                 .collect();
             for pages in &worker_pages {
                 for (addr, page) in pages {
-                    let unchanged = base_pages
-                        .get(addr)
-                        .is_some_and(|bp| Arc::ptr_eq(bp, page));
+                    let unchanged = base_pages.get(addr).is_some_and(|bp| Arc::ptr_eq(bp, page));
                     if !unchanged {
                         dirty.entry(*addr).or_default().push(page);
                     }
@@ -365,7 +362,9 @@ mod tests {
         let image = load_module(&m);
         let mut interp = Interp::new(&m, &image, NopHooks, UncheckedDoallRuntime::new(&image, 3));
         interp.run_main().unwrap();
-        let expect: Vec<u8> = (0..10).flat_map(|i| format!("{i}\n").into_bytes()).collect();
+        let expect: Vec<u8> = (0..10)
+            .flat_map(|i| format!("{i}\n").into_bytes())
+            .collect();
         assert_eq!(interp.rt.take_output(), expect);
     }
 }

@@ -4,7 +4,7 @@ use crate::heaps::worker_shortlived_arena;
 use crate::shadow::{self, Access};
 use privateer_ir::inst::SHADOW_BIT;
 use privateer_ir::{FuncId, Heap, InstId, Module, PlanEntry, ReduxOp};
-use privateer_vm::{AddressSpace, MisspecKind, RegionAllocator, RuntimeIface, Trap};
+use privateer_vm::{AddressSpace, MisspecKind, RegionAllocator, RuntimeIface, Trap, PAGE_SIZE};
 use std::time::Instant;
 
 /// Deterministic per-iteration hash for misspeculation injection (§6.3).
@@ -51,6 +51,11 @@ pub struct WorkerStats {
     pub check_calls: u64,
     /// Pages assembled into checkpoint contributions.
     pub contrib_pages: u64,
+    /// 8-byte shadow words handled by the word-granular (SWAR) fast path.
+    pub priv_fast_words: u64,
+    /// Shadow bytes that took the per-byte `shadow::transition` slow path
+    /// (sub-word tails and trap-candidate words).
+    pub priv_slow_bytes: u64,
 }
 
 /// The [`RuntimeIface`] implementation workers run under: Table 2 privacy
@@ -131,7 +136,8 @@ impl WorkerRuntime {
         }
         self.shortlived.reset();
         if !self.cur_io.is_empty() {
-            self.io.push((self.cur_iter, std::mem::take(&mut self.cur_io)));
+            self.io
+                .push((self.cur_iter, std::mem::take(&mut self.cur_io)));
         }
         Ok(())
     }
@@ -143,19 +149,30 @@ impl WorkerRuntime {
 
     /// Normalize this worker's shadow metadata after contributing to a
     /// checkpoint: timestamps → old-write, read-live-in → live-in.
+    ///
+    /// Scans word-at-a-time: words already all live-in/old-write (the
+    /// common steady state) are skipped with a single compare, and only
+    /// pages where some word actually changes are copied and reinstalled.
     pub fn normalize_shadow(mem: &mut AddressSpace) {
         let lo = Heap::Private.base() | SHADOW_BIT;
         let hi = lo + crate::heaps::HEAP_SPAN;
         let pages = mem.pages_in_range(lo, hi);
         for (base, page) in pages {
-            if page.iter().all(|&m| m <= shadow::OLD_WRITE) {
-                continue;
+            let mut fresh: Option<privateer_vm::Page> = None;
+            for i in (0..PAGE_SIZE as usize).step_by(8) {
+                let w = u64::from_le_bytes(page[i..i + 8].try_into().unwrap());
+                if shadow::word::all_le_old_write(w) {
+                    continue;
+                }
+                let new = shadow::word::normalize_word(w);
+                if new != w {
+                    let f = fresh.get_or_insert_with(|| *page);
+                    f[i..i + 8].copy_from_slice(&new.to_le_bytes());
+                }
             }
-            let mut fresh = *page;
-            for m in fresh.iter_mut() {
-                *m = shadow::normalize(*m);
+            if let Some(f) = fresh {
+                mem.install_page(base, std::sync::Arc::new(f));
             }
-            mem.install_page(base, std::sync::Arc::new(fresh));
         }
     }
 }
@@ -279,7 +296,19 @@ impl RuntimeIface for WorkerRuntime {
 }
 
 impl WorkerRuntime {
-    fn private_access(
+    /// The reference per-byte privacy check (the pre-SWAR hot loop).
+    ///
+    /// Kept public so the proptest equivalence suite and the
+    /// `privateer-bench` baseline can compare the word-granular
+    /// [`private_read`](RuntimeIface::private_read)/
+    /// [`private_write`](RuntimeIface::private_write) path against it;
+    /// both must produce byte-identical shadow state and identical traps.
+    ///
+    /// # Errors
+    ///
+    /// Traps exactly per Table 2 ([`shadow::transition`]), plus a
+    /// separation misspeculation for non-private addresses.
+    pub fn private_access_bytewise(
         &mut self,
         access: Access,
         addr: u64,
@@ -298,6 +327,134 @@ impl WorkerRuntime {
             let after = shadow::transition(access, before, self.cur_ts)?;
             if after != before {
                 mem.write_u8(sh, after);
+            }
+        }
+        Ok(())
+    }
+
+    /// Word-granular privacy check: equivalent to
+    /// [`Self::private_access_bytewise`] but processes eight shadow bytes
+    /// per step on the no-trap path (see [`shadow::word`]).
+    fn private_access(
+        &mut self,
+        access: Access,
+        addr: u64,
+        size: u64,
+        mem: &mut AddressSpace,
+    ) -> Result<(), Trap> {
+        if !Heap::Private.contains(addr) {
+            return Err(Trap::misspec(
+                MisspecKind::Separation,
+                format!("private access to non-private address {addr:#x}"),
+            ));
+        }
+        let mut b = addr;
+        let end = addr + size;
+        while b < end {
+            let sh = b | SHADOW_BIT;
+            let room = PAGE_SIZE - (sh & (PAGE_SIZE - 1));
+            let chunk = room.min(end - b);
+            self.chunk_access(access, sh, chunk, mem)?;
+            b += chunk;
+        }
+        Ok(())
+    }
+
+    /// One within-page chunk (`len <= PAGE_SIZE`) of the word-granular
+    /// privacy check, starting at shadow address `sh`.
+    fn chunk_access(
+        &mut self,
+        access: Access,
+        sh: u64,
+        len: u64,
+        mem: &mut AddressSpace,
+    ) -> Result<(), Trap> {
+        let cur = self.cur_ts;
+        let n = len as usize;
+        let off = (sh & (PAGE_SIZE - 1)) as usize;
+
+        let Some(page) = mem.page(sh) else {
+            // Unmapped shadow page: every byte is LIVE_IN, so no byte can
+            // trap — reads mark the span read-live-in, writes broadcast
+            // the current timestamp.
+            let fill = match access {
+                Access::Read => shadow::READ_LIVE_IN,
+                Access::Write => cur,
+            };
+            mem.fill(sh, len, fill);
+            self.stats.priv_fast_words += len.div_ceil(shadow::word::BYTES);
+            return Ok(());
+        };
+
+        // Phase 1 (read-only): word-scan for the first trap candidate and
+        // whether any metadata changes at all. A pure pass (intra-iteration
+        // reuse, where the span is already uniformly `cur`) therefore never
+        // copies or materializes a page.
+        let bytes = &page[off..off + n];
+        let mut i = 0usize;
+        let mut any_change = false;
+        let mut fallback_at: Option<usize> = None;
+        while i + 8 <= n {
+            let w = u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+            match shadow::word::transition_word(access, w, cur) {
+                shadow::word::Outcome::Pass(new) => {
+                    any_change |= new != w;
+                    self.stats.priv_fast_words += 1;
+                    i += 8;
+                }
+                shadow::word::Outcome::Fallback => {
+                    fallback_at = Some(i);
+                    break;
+                }
+            }
+        }
+        if fallback_at.is_none() {
+            // Sub-word tail: per-byte scan, still read-only. A trapping
+            // tail byte joins the fallback path below so the bytes before
+            // it still mutate, exactly as in the bytewise reference.
+            while i < n {
+                match shadow::transition(access, bytes[i], cur) {
+                    Ok(after) => {
+                        any_change |= after != bytes[i];
+                        self.stats.priv_slow_bytes += 1;
+                        i += 1;
+                    }
+                    Err(_) => {
+                        fallback_at = Some(i);
+                        break;
+                    }
+                }
+            }
+        }
+
+        if !any_change && fallback_at.is_none() {
+            return Ok(());
+        }
+
+        // Phase 2 (mutating): apply the all-pass prefix in bulk, then let
+        // the per-byte reference transition walk the remainder so the
+        // trapping byte, its trap message, and the partial-mutation order
+        // are identical to `private_access_bytewise`.
+        let pass_len = fallback_at.unwrap_or(n);
+        let slice = &mut mem.page_make_mut(sh)[off..off + n];
+        match access {
+            // Every passing write lane becomes the current timestamp.
+            Access::Write => slice[..pass_len].fill(cur),
+            // Passing read lanes keep `cur`; live-in and read-live-in
+            // become read-live-in.
+            Access::Read => {
+                for m in &mut slice[..pass_len] {
+                    if *m != cur {
+                        *m = shadow::READ_LIVE_IN;
+                    }
+                }
+            }
+        }
+        for m in &mut slice[pass_len..] {
+            self.stats.priv_slow_bytes += 1;
+            let after = shadow::transition(access, *m, cur)?;
+            if after != *m {
+                *m = after;
             }
         }
         Ok(())
@@ -406,12 +563,8 @@ mod tests {
 
     #[test]
     fn injection_is_deterministic() {
-        let hits: Vec<i64> = (0..1000)
-            .filter(|&i| injected_at(0.01, 42, i))
-            .collect();
-        let hits2: Vec<i64> = (0..1000)
-            .filter(|&i| injected_at(0.01, 42, i))
-            .collect();
+        let hits: Vec<i64> = (0..1000).filter(|&i| injected_at(0.01, 42, i)).collect();
+        let hits2: Vec<i64> = (0..1000).filter(|&i| injected_at(0.01, 42, i)).collect();
         assert_eq!(hits, hits2);
         // Roughly 1% of 1000.
         assert!(!hits.is_empty() && hits.len() < 50, "{}", hits.len());
@@ -423,8 +576,12 @@ mod tests {
         let (mut rt, _, _) = setup();
         assert!(rt.predict(true).is_ok());
         assert!(rt.predict(false).is_err());
-        assert!(rt.check_heap(Heap::Private, Heap::Private.base() + 8).is_ok());
-        assert!(rt.check_heap(Heap::Private, Heap::ReadOnly.base() + 8).is_err());
+        assert!(rt
+            .check_heap(Heap::Private, Heap::Private.base() + 8)
+            .is_ok());
+        assert!(rt
+            .check_heap(Heap::Private, Heap::ReadOnly.base() + 8)
+            .is_err());
         assert!(rt.check_heap(Heap::Private, 0).is_ok());
     }
 }

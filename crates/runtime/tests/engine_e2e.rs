@@ -3,9 +3,7 @@
 //! injection, genuine privacy violations, and the Figure 5 timeline.
 
 use privateer_ir::builder::FunctionBuilder;
-use privateer_ir::{
-    CmpOp, GlobalInit, Heap, Intrinsic, Module, PlanEntry, ReduxOp, Type, Value,
-};
+use privateer_ir::{CmpOp, GlobalInit, Heap, Intrinsic, Module, PlanEntry, ReduxOp, Type, Value};
 use privateer_runtime::{EngineConfig, EngineEvent, MainRuntime, SequentialPlanRuntime};
 use privateer_vm::{load_module, Interp, NopHooks, Trap};
 
@@ -74,7 +72,12 @@ fn build_module(violating: bool) -> Module {
             b.add_phi_incoming(j_phi, bodyb, j2);
             b.br(header);
             b.switch_to(after);
-            let idx = b.bin(privateer_ir::BinOp::SRem, Type::I64, iter, Value::const_i64(10));
+            let idx = b.bin(
+                privateer_ir::BinOp::SRem,
+                Type::I64,
+                iter,
+                Value::const_i64(10),
+            );
             let slot = b.gep(Value::Global(buf), idx, 8, 0);
             if checks {
                 b.intrinsic(Intrinsic::PrivateRead, vec![slot, Value::const_i64(8)]);
@@ -144,13 +147,15 @@ fn cfg(workers: usize) -> EngineConfig {
 fn parallel_output_matches_sequential() {
     let m = build_module(false);
     let seq = run_sequential(&m);
-    assert!(seq.ends_with(b"4955\n993\n"), "sequential reference is sane");
+    assert!(
+        seq.ends_with(b"4955\n993\n"),
+        "sequential reference is sane"
+    );
     for workers in [1, 2, 3, 4, 7] {
         let (r, out, rt) = run_parallel(&m, cfg(workers));
         r.unwrap();
         assert_eq!(
-            out,
-            seq,
+            out, seq,
             "output diverged at {workers} workers ({} misspecs)",
             rt.stats.misspecs
         );
@@ -187,7 +192,11 @@ fn genuine_privacy_violation_detected_and_repaired() {
     let seq = run_sequential(&m);
     // Sequential: buf[0] counts iterations; main prints acc = 5 + 4950 and
     // then buf[3], which the violating body never touches.
-    assert!(seq.ends_with(b"4955\n0\n"), "{}", String::from_utf8_lossy(&seq));
+    assert!(
+        seq.ends_with(b"4955\n0\n"),
+        "{}",
+        String::from_utf8_lossy(&seq)
+    );
     let (r, out, rt) = run_parallel(&m, cfg(4));
     r.unwrap();
     assert_eq!(out, seq);
@@ -205,7 +214,10 @@ fn figure5_timeline_on_injection() {
     let (r, _, rt) = run_parallel(&m, c);
     r.unwrap();
     let ev = &rt.events;
-    assert!(matches!(ev.first(), Some(EngineEvent::Invoke { lo: 0, hi: N })));
+    assert!(matches!(
+        ev.first(),
+        Some(EngineEvent::Invoke { lo: 0, hi: N })
+    ));
     assert!(matches!(ev.last(), Some(EngineEvent::InvokeDone)));
     // Every misspeculation is followed (eventually) by a recovery, and the
     // recovery covers the misspeculated iteration.
@@ -245,7 +257,10 @@ fn shortlived_objects_and_lifetime_validation() {
         let mut b = FunctionBuilder::new(name, vec![Type::I64], None);
         let iter = b.param(0);
         let p = b
-            .intrinsic(Intrinsic::HAlloc(Heap::ShortLived), vec![Value::const_i64(16)])
+            .intrinsic(
+                Intrinsic::HAlloc(Heap::ShortLived),
+                vec![Value::const_i64(16)],
+            )
             .unwrap();
         if checks {
             b.intrinsic(Intrinsic::CheckHeap(Heap::ShortLived), vec![p]);
@@ -343,7 +358,10 @@ fn value_prediction_and_separation_checks_pass_in_engine() {
             let v = b.load(Type::I64, Value::Global(cell));
             let ok = b.icmp(CmpOp::Eq, v, Value::const_i64(0));
             b.intrinsic(Intrinsic::Predict, vec![ok]);
-            b.intrinsic(Intrinsic::CheckHeap(Heap::Private), vec![Value::Global(cell)]);
+            b.intrinsic(
+                Intrinsic::CheckHeap(Heap::Private),
+                vec![Value::Global(cell)],
+            );
         }
         b.ret(None);
         m.add_function(b.finish());
@@ -381,5 +399,8 @@ fn multiple_invocations_reuse_heaps() {
     interp.run_main().unwrap();
     let rt = interp.rt;
     assert_eq!(rt.stats.invocations, 2);
-    assert_eq!(rt.stats.misspecs, 0, "second invocation must not see stale metadata");
+    assert_eq!(
+        rt.stats.misspecs, 0,
+        "second invocation must not see stale metadata"
+    );
 }

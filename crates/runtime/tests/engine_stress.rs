@@ -26,7 +26,12 @@ fn build(n: i64, divide_by_zero_at: Option<i64>) -> Module {
         if let Some(bad) = divide_by_zero_at {
             // divisor = i - bad: zero exactly at the bad iteration.
             let d = b.sub(Type::I64, i, Value::const_i64(bad));
-            let q = b.bin(privateer_ir::BinOp::SDiv, Type::I64, Value::const_i64(100), d);
+            let q = b.bin(
+                privateer_ir::BinOp::SDiv,
+                Type::I64,
+                Value::const_i64(100),
+                d,
+            );
             let c = b.icmp(CmpOp::Eq, q, Value::const_i64(i64::MIN));
             let z = b.select(Type::I64, c, Value::const_i64(0), Value::const_i64(1));
             let _ = z;
@@ -93,9 +98,7 @@ fn misspeculation_on_final_iteration_recovers() {
     let want = expected(&m);
     // Find a seed that injects exactly at the last iteration.
     let seed = (0u64..50_000)
-        .find(|&s| {
-            (0..12).all(|i| privateer_runtime::worker::injected_at(0.02, s, i) == (i == 11))
-        })
+        .find(|&s| (0..12).all(|i| privateer_runtime::worker::injected_at(0.02, s, i) == (i == 11)))
         .expect("some seed injects only at iteration 11");
     let image = load_module(&m);
     let cfg = EngineConfig {

@@ -9,6 +9,19 @@ use privateer_runtime::worker::{injected_at, WorkerRuntime};
 use privateer_vm::{AddressSpace, RegionAllocator, RuntimeIface, Trap};
 use proptest::prelude::*;
 
+/// Shadow metadata bytes weighted toward the interesting Table 2 codes
+/// (plus fully arbitrary bytes for good measure).
+fn meta_strategy() -> impl Strategy<Value = u8> {
+    prop_oneof![
+        Just(shadow::LIVE_IN),
+        Just(shadow::LIVE_IN),
+        Just(shadow::OLD_WRITE),
+        Just(shadow::READ_LIVE_IN),
+        (0u64..shadow::MAX_PERIOD).prop_map(shadow::ts_code),
+        any::<u8>(),
+    ]
+}
+
 /// A random trace of private accesses to a handful of bytes across
 /// iterations.
 #[derive(Debug, Clone)]
@@ -81,6 +94,98 @@ proptest! {
             }
         }
         prop_assert_eq!(impl_trap, oracle_trap);
+    }
+
+    /// The word-granular (SWAR) `private_read`/`private_write` path is
+    /// observationally identical to the per-byte reference
+    /// `private_access_bytewise`: byte-identical shadow state over the
+    /// whole shadow heap and the identical `Trap` (kind *and* message),
+    /// across random metadata, sizes 1–64, unaligned bases, and spans
+    /// crossing a page boundary.
+    #[test]
+    fn word_path_equals_bytewise(
+        meta in prop::collection::vec(meta_strategy(), 80),
+        off in 0u64..5000,
+        size in 1u64..=64,
+        is_write in any::<bool>(),
+        n in 0u64..shadow::MAX_PERIOD,
+    ) {
+        // Page boundary of the shadow heap falls at off == 0x1000.
+        let addr = Heap::Private.base() + 0x3000 + off;
+        let access = if is_write { Access::Write } else { Access::Read };
+
+        let mut rt_word = WorkerRuntime::new(0, 0.0, 0);
+        let mut rt_ref = WorkerRuntime::new(0, 0.0, 0);
+        rt_word.begin_iteration(0, n).unwrap();
+        rt_ref.begin_iteration(0, n).unwrap();
+
+        // Identically seeded shadow state: the accessed span plus an
+        // 8-byte margin on each side (which must come out untouched).
+        let mut mem_word = AddressSpace::new();
+        let mut mem_ref = AddressSpace::new();
+        let seeded = &meta[..(size + 16) as usize];
+        mem_word.write_bytes((addr - 8) | privateer_ir::inst::SHADOW_BIT, seeded);
+        mem_ref.write_bytes((addr - 8) | privateer_ir::inst::SHADOW_BIT, seeded);
+
+        let r_word = match access {
+            Access::Write => rt_word.private_write(addr, size, &mut mem_word),
+            Access::Read => rt_word.private_read(addr, size, &mut mem_word),
+        };
+        let r_ref = rt_ref.private_access_bytewise(access, addr, size, &mut mem_ref);
+        prop_assert_eq!(&r_word, &r_ref);
+
+        let lo = Heap::Private.base() | privateer_ir::inst::SHADOW_BIT;
+        let hi = lo + privateer_runtime::heaps::HEAP_SPAN;
+        prop_assert!(mem_word.range_eq(&mem_ref, lo, hi), "shadow state diverged");
+    }
+
+    /// Same equivalence over multi-access traces spanning several
+    /// iterations and checkpoints: overlapping spans accumulate mixed
+    /// metadata words, and both implementations must walk through the
+    /// identical sequence of states and stop at the identical trap.
+    #[test]
+    fn word_path_equals_bytewise_traces(
+        ops in prop::collection::vec(
+            (0u64..6, 0u64..200, 1u64..=64, any::<bool>()),
+            1..24,
+        ),
+    ) {
+        let base = Heap::Private.base() + 0x7fe0; // spans cross a page boundary
+        let mut rt_word = WorkerRuntime::new(0, 0.0, 0);
+        let mut rt_ref = WorkerRuntime::new(0, 0.0, 0);
+        let mut mem_word = AddressSpace::new();
+        let mut mem_ref = AddressSpace::new();
+        let mut sorted = ops;
+        sorted.sort_by_key(|&(iter, ..)| iter);
+        let mut cur = u64::MAX;
+        for &(iter, off, size, is_write) in &sorted {
+            if iter != cur {
+                cur = iter;
+                rt_word.begin_iteration(iter as i64, iter).unwrap();
+                rt_ref.begin_iteration(iter as i64, iter).unwrap();
+            }
+            let addr = base + off;
+            let access = if is_write { Access::Write } else { Access::Read };
+            let r_word = match access {
+                Access::Write => rt_word.private_write(addr, size, &mut mem_word),
+                Access::Read => rt_word.private_read(addr, size, &mut mem_word),
+            };
+            let r_ref = rt_ref.private_access_bytewise(access, addr, size, &mut mem_ref);
+            prop_assert_eq!(&r_word, &r_ref);
+            let lo = Heap::Private.base() | privateer_ir::inst::SHADOW_BIT;
+            let hi = lo + privateer_runtime::heaps::HEAP_SPAN;
+            prop_assert!(mem_word.range_eq(&mem_ref, lo, hi), "shadow state diverged");
+            if r_word.is_err() {
+                break; // both trapped identically; the iteration squashes
+            }
+        }
+        // Normalization must agree too (word-granular on both sides, but
+        // against states produced by the two different access paths).
+        WorkerRuntime::normalize_shadow(&mut mem_word);
+        WorkerRuntime::normalize_shadow(&mut mem_ref);
+        let lo = Heap::Private.base() | privateer_ir::inst::SHADOW_BIT;
+        let hi = lo + privateer_runtime::heaps::HEAP_SPAN;
+        prop_assert!(mem_word.range_eq(&mem_ref, lo, hi), "normalized state diverged");
     }
 
     /// Normalization is idempotent and never manufactures timestamps.

@@ -75,26 +75,68 @@ impl ExecCtx {
 #[allow(unused_variables)]
 pub trait Hooks {
     /// After a load of `size` bytes at `addr`.
-    fn on_load(&mut self, ctx: &ExecCtx, func: FuncId, inst: InstId, addr: u64, size: u32, mem: &AddressSpace) {}
+    fn on_load(
+        &mut self,
+        ctx: &ExecCtx,
+        func: FuncId,
+        inst: InstId,
+        addr: u64,
+        size: u32,
+        mem: &AddressSpace,
+    ) {
+    }
 
     /// Before a store of `size` bytes at `addr`.
-    fn on_store(&mut self, ctx: &ExecCtx, func: FuncId, inst: InstId, addr: u64, size: u32, mem: &AddressSpace) {}
+    fn on_store(
+        &mut self,
+        ctx: &ExecCtx,
+        func: FuncId,
+        inst: InstId,
+        addr: u64,
+        size: u32,
+        mem: &AddressSpace,
+    ) {
+    }
 
     /// After an allocation at static site `(func, inst)`.
-    fn on_alloc(&mut self, ctx: &ExecCtx, func: FuncId, inst: InstId, addr: u64, size: u64, kind: AllocKind) {}
+    fn on_alloc(
+        &mut self,
+        ctx: &ExecCtx,
+        func: FuncId,
+        inst: InstId,
+        addr: u64,
+        size: u64,
+        kind: AllocKind,
+    ) {
+    }
 
     /// Before a deallocation.
     fn on_free(&mut self, ctx: &ExecCtx, func: FuncId, inst: InstId, addr: u64) {}
 
     /// After a conditional branch resolves.
-    fn on_cond_branch(&mut self, ctx: &ExecCtx, func: FuncId, block: privateer_ir::BlockId, taken: bool) {}
+    fn on_cond_branch(
+        &mut self,
+        ctx: &ExecCtx,
+        func: FuncId,
+        block: privateer_ir::BlockId,
+        taken: bool,
+    ) {
+    }
 
     /// On first entry to a loop (before iteration 0 begins).
     fn on_loop_enter(&mut self, ctx: &ExecCtx, func: FuncId, loop_id: LoopId) {}
 
     /// At the start of each loop iteration (including iteration 0). `mem`
     /// allows boundary-value sampling (the value-prediction profiler).
-    fn on_loop_iter(&mut self, ctx: &ExecCtx, func: FuncId, loop_id: LoopId, iter: u64, mem: &AddressSpace) {}
+    fn on_loop_iter(
+        &mut self,
+        ctx: &ExecCtx,
+        func: FuncId,
+        loop_id: LoopId,
+        iter: u64,
+        mem: &AddressSpace,
+    ) {
+    }
 
     /// When control leaves a loop after `trips` iterations.
     fn on_loop_exit(&mut self, ctx: &ExecCtx, func: FuncId, loop_id: LoopId, trips: u64) {}
@@ -147,6 +189,12 @@ mod tests {
         let mut h = NopHooks;
         let ctx = ExecCtx::default();
         h.on_inst(&ctx, FuncId::new(0));
-        h.on_loop_iter(&ctx, FuncId::new(0), LoopId::new(0), 0, &AddressSpace::new());
+        h.on_loop_iter(
+            &ctx,
+            FuncId::new(0),
+            LoopId::new(0),
+            0,
+            &AddressSpace::new(),
+        );
     }
 }

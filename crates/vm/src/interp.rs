@@ -46,9 +46,7 @@ pub fn load_module(module: &Module) -> ProgramImage {
     for g in &module.globals {
         let next = match g.heap {
             None => &mut untagged_next,
-            Some(h) => heap_start
-                .entry(h)
-                .or_insert(h.base() + PAGE_SIZE),
+            Some(h) => heap_start.entry(h).or_insert(h.base() + PAGE_SIZE),
         };
         let addr = *next;
         *next += (g.size.max(1) + 15) & !15;
@@ -159,7 +157,13 @@ pub struct Interp<'m, H, R> {
 impl<'m, H: Hooks, R: RuntimeIface> Interp<'m, H, R> {
     /// Create an interpreter over a fork of the image's memory.
     pub fn new(module: &'m Module, image: &ProgramImage, hooks: H, rt: R) -> Interp<'m, H, R> {
-        Interp::with_mem(module, image.mem.fork(), image.global_addrs.clone(), hooks, rt)
+        Interp::with_mem(
+            module,
+            image.mem.fork(),
+            image.global_addrs.clone(),
+            hooks,
+            rt,
+        )
     }
 
     /// Create an interpreter over an explicit memory (worker forks).
@@ -231,7 +235,13 @@ impl<'m, H: Hooks, R: RuntimeIface> Interp<'m, H, R> {
         result
     }
 
-    fn resolve(&self, func: &Function, regs: &[Option<Val>], args: &[Val], v: Value) -> Result<Val, Trap> {
+    fn resolve(
+        &self,
+        func: &Function,
+        regs: &[Option<Val>],
+        args: &[Val],
+        v: Value,
+    ) -> Result<Val, Trap> {
         match v {
             Value::Inst(i) => regs[i.index()]
                 .ok_or_else(|| Trap::UndefValue(format!("%{} in `{}`", i.index(), func.name))),
@@ -248,7 +258,13 @@ impl<'m, H: Hooks, R: RuntimeIface> Interp<'m, H, R> {
 
     /// Handle loop-nest bookkeeping for a control transfer within `func_id`
     /// from `prev` to `next` (`prev = None` on function entry).
-    fn note_transfer(&mut self, func_id: FuncId, prev: Option<BlockId>, next: BlockId, floor: usize) {
+    fn note_transfer(
+        &mut self,
+        func_id: FuncId,
+        prev: Option<BlockId>,
+        next: BlockId,
+        floor: usize,
+    ) {
         let meta = &self.meta[func_id.index()];
         let empty: &[LoopId] = &[];
         let prev_chain: &[LoopId] = match prev {
@@ -272,12 +288,15 @@ impl<'m, H: Hooks, R: RuntimeIface> Interp<'m, H, R> {
                 .on_loop_exit(&self.ctx, func_id, l, frame.iter + 1);
         }
         // Back edge to the header of a still-active loop?
-        if common > 0 && meta.header_of[next.index()] == Some(next_chain[common - 1]) && prev.is_some()
+        if common > 0
+            && meta.header_of[next.index()] == Some(next_chain[common - 1])
+            && prev.is_some()
         {
             let top = self.ctx.loop_stack.last_mut().expect("active loop frame");
             top.iter += 1;
             let (l, iter) = (top.loop_id, top.iter);
-            self.hooks.on_loop_iter(&self.ctx, func_id, l, iter, &self.mem);
+            self.hooks
+                .on_loop_iter(&self.ctx, func_id, l, iter, &self.mem);
         }
         // Enter new loops, outermost first.
         for &l in &next_chain[common..] {
@@ -316,15 +335,16 @@ impl<'m, H: Hooks, R: RuntimeIface> Interp<'m, H, R> {
                 let mut updates: Vec<(InstId, Val)> = Vec::new();
                 for &i in &block.insts {
                     if let InstKind::Phi(ty, incoming) = &func.inst(i).kind {
-                        let (_, v) = incoming
-                            .iter()
-                            .find(|(pred, _)| *pred == p)
-                            .ok_or_else(|| {
-                                Trap::Internal(format!(
-                                    "phi %{} has no incoming edge from {p}",
-                                    i.index()
-                                ))
-                            })?;
+                        let (_, v) =
+                            incoming
+                                .iter()
+                                .find(|(pred, _)| *pred == p)
+                                .ok_or_else(|| {
+                                    Trap::Internal(format!(
+                                        "phi %{} has no incoming edge from {p}",
+                                        i.index()
+                                    ))
+                                })?;
                         let val = self.resolve(func, &regs, &args, *v)?.normalize(*ty);
                         updates.push((i, val));
                     } else {
@@ -588,12 +608,14 @@ impl<'m, H: Hooks, R: RuntimeIface> Interp<'m, H, R> {
             }
             Intrinsic::PrivateRead => {
                 let size = vals[1].as_int().max(0) as u64;
-                self.rt.private_read(vals[0].as_ptr(), size, &mut self.mem)?;
+                self.rt
+                    .private_read(vals[0].as_ptr(), size, &mut self.mem)?;
                 Ok(None)
             }
             Intrinsic::PrivateWrite => {
                 let size = vals[1].as_int().max(0) as u64;
-                self.rt.private_write(vals[0].as_ptr(), size, &mut self.mem)?;
+                self.rt
+                    .private_write(vals[0].as_ptr(), size, &mut self.mem)?;
                 Ok(None)
             }
             Intrinsic::Predict => {
@@ -658,7 +680,11 @@ fn eval_bin(op: BinOp, ty: Type, a: Val, b: Val) -> Result<Val, Trap> {
     }
     let (x, y) = (a.as_int(), b.as_int());
     let bits = width_bits(ty);
-    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let r = match op {
         BinOp::Add => x.wrapping_add(y),
         BinOp::Sub => x.wrapping_sub(y),
@@ -697,7 +723,11 @@ fn eval_cast(op: CastOp, src_ty: Option<Type>, v: Val, to: Type) -> Val {
     match op {
         CastOp::Zext => {
             let bits = src_ty.map_or(64, width_bits);
-            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             Val::Int(((v.as_int() as u64) & mask) as i64).normalize(to)
         }
         CastOp::Sext => Val::Int(v.as_int()).normalize(to),
@@ -808,7 +838,9 @@ mod tests {
         m.add_function(f.finish());
 
         let mut b = FunctionBuilder::new("main", vec![], None);
-        let r = b.call(fact_id, vec![Value::const_i64(10)], Some(Type::I64)).unwrap();
+        let r = b
+            .call(fact_id, vec![Value::const_i64(10)], Some(Type::I64))
+            .unwrap();
         b.print_i64(r);
         b.ret(None);
         m.add_function(b.finish());
@@ -860,9 +892,13 @@ mod tests {
     fn float_ops_and_intrinsics() {
         let mut m = Module::new("t");
         let mut b = FunctionBuilder::new("main", vec![], None);
-        let s = b.intrinsic(Intrinsic::Sqrt, vec![Value::const_f64(9.0)]).unwrap();
+        let s = b
+            .intrinsic(Intrinsic::Sqrt, vec![Value::const_f64(9.0)])
+            .unwrap();
         b.print_f64(s);
-        let e = b.intrinsic(Intrinsic::Exp, vec![Value::const_f64(0.0)]).unwrap();
+        let e = b
+            .intrinsic(Intrinsic::Exp, vec![Value::const_f64(0.0)])
+            .unwrap();
         b.print_f64(e);
         b.ret(None);
         m.add_function(b.finish());
@@ -957,7 +993,10 @@ mod tests {
         let mut m = Module::new("t");
         let mut b = FunctionBuilder::new("main", vec![], None);
         let p = b
-            .intrinsic(Intrinsic::HAlloc(Heap::ShortLived), vec![Value::const_i64(16)])
+            .intrinsic(
+                Intrinsic::HAlloc(Heap::ShortLived),
+                vec![Value::const_i64(16)],
+            )
             .unwrap();
         b.intrinsic(Intrinsic::CheckHeap(Heap::ShortLived), vec![p]);
         b.store(Type::I64, Value::const_i64(11), p);

@@ -168,6 +168,26 @@ impl AddressSpace {
         self.write_u64(addr, v.to_bits());
     }
 
+    /// The materialized page containing `addr`, if any. `None` means the
+    /// whole page reads as zeros.
+    pub fn page(&self, addr: u64) -> Option<&Page> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| &**p)
+    }
+
+    /// Mutable access to the page containing `addr`, materializing a zero
+    /// page if absent and copying a shared one (the COW fault).
+    ///
+    /// Word-granular scans use [`Self::page`] first and only take this
+    /// mutable path when a byte actually changes, so read-only validation
+    /// never materializes or copies pages.
+    pub fn page_make_mut(&mut self, addr: u64) -> &mut Page {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Arc::new([0u8; PAGE_SIZE as usize]));
+        Arc::make_mut(page)
+    }
+
     /// Materialized pages whose base address lies in `[lo, hi)`, as
     /// `(page_base, page)` pairs in ascending address order.
     pub fn pages_in_range(&self, lo: u64, hi: u64) -> Vec<(u64, Arc<Page>)> {
@@ -215,7 +235,11 @@ impl AddressSpace {
         bases.dedup();
         let zero = [0u8; PAGE_SIZE as usize];
         for base in bases {
-            let a = self.pages.get(&(base >> PAGE_SHIFT)).map(|p| &**p).unwrap_or(&zero);
+            let a = self
+                .pages
+                .get(&(base >> PAGE_SHIFT))
+                .map(|p| &**p)
+                .unwrap_or(&zero);
             let b = other
                 .pages
                 .get(&(base >> PAGE_SHIFT))
@@ -398,6 +422,22 @@ mod tests {
         assert_eq!(m.read_i64(0x8000), 0x0123_4567_89ab_cdefu64 as i64);
         m.write_u8(0x8010, 0xAA);
         assert_eq!(m.read_u8(0x8010), 0xAA);
+    }
+
+    #[test]
+    fn page_accessors() {
+        let mut m = AddressSpace::new();
+        assert!(m.page(0x5000).is_none());
+        // page_make_mut materializes a zero page; the index is the offset
+        // within the page, regardless of which in-page address named it.
+        m.page_make_mut(0x5abc)[4] = 9;
+        assert_eq!(m.read_u8(0x5004), 9);
+        assert_eq!(m.page(0x5abc).expect("materialized")[4], 9);
+        // Mutating through page_make_mut does not leak into a fork.
+        let child = m.fork();
+        m.page_make_mut(0x5000)[0] = 1;
+        assert_eq!(child.read_u8(0x5000), 0);
+        assert_eq!(m.read_u8(0x5000), 1);
     }
 
     #[test]

@@ -214,11 +214,21 @@ impl RuntimeIface for BasicRuntime {
         }
     }
 
-    fn private_read(&mut self, _addr: u64, _size: u64, _mem: &mut AddressSpace) -> Result<(), Trap> {
+    fn private_read(
+        &mut self,
+        _addr: u64,
+        _size: u64,
+        _mem: &mut AddressSpace,
+    ) -> Result<(), Trap> {
         Ok(())
     }
 
-    fn private_write(&mut self, _addr: u64, _size: u64, _mem: &mut AddressSpace) -> Result<(), Trap> {
+    fn private_write(
+        &mut self,
+        _addr: u64,
+        _size: u64,
+        _mem: &mut AddressSpace,
+    ) -> Result<(), Trap> {
         Ok(())
     }
 
@@ -226,7 +236,10 @@ impl RuntimeIface for BasicRuntime {
         if ok || self.mode == CheckMode::Lenient {
             Ok(())
         } else {
-            Err(Trap::misspec(MisspecKind::Prediction, "predicted condition was false"))
+            Err(Trap::misspec(
+                MisspecKind::Prediction,
+                "predicted condition was false",
+            ))
         }
     }
 

@@ -120,6 +120,8 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(Trap::NullDeref { addr: 8 }.to_string().contains("0x8"));
-        assert!(Trap::OutOfMemory(Heap::Private).to_string().contains("priv"));
+        assert!(Trap::OutOfMemory(Heap::Private)
+            .to_string()
+            .contains("priv"));
     }
 }

@@ -103,7 +103,10 @@ mod tests {
     fn normalize_widths() {
         assert_eq!(Val::Int(300).normalize(Type::I8), Val::Int(44)); // 300 wraps to 44
         assert_eq!(Val::Int(-1).normalize(Type::I32), Val::Int(-1));
-        assert_eq!(Val::Int(i64::from(u32::MAX)).normalize(Type::I32), Val::Int(-1));
+        assert_eq!(
+            Val::Int(i64::from(u32::MAX)).normalize(Type::I32),
+            Val::Int(-1)
+        );
         assert_eq!(Val::Int(3).normalize(Type::I1), Val::Int(1));
         assert_eq!(Val::Int(2).normalize(Type::I1), Val::Int(0));
         assert_eq!(Val::Float(2.0).normalize(Type::F64), Val::Float(2.0));

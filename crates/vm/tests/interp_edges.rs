@@ -19,13 +19,28 @@ fn logical_shift_respects_width() {
     let mut b = FunctionBuilder::new("main", vec![], None);
     // i32 logical shift right of a negative value must not smear the i64
     // sign extension: (-2 as u32) >> 1 = 0x7FFFFFFF.
-    let v = b.bin(BinOp::LShr, Type::I32, Value::const_i32(-2), Value::const_i32(1));
+    let v = b.bin(
+        BinOp::LShr,
+        Type::I32,
+        Value::const_i32(-2),
+        Value::const_i32(1),
+    );
     b.print_i64(v);
     // Arithmetic shift keeps the sign.
-    let a = b.bin(BinOp::AShr, Type::I32, Value::const_i32(-8), Value::const_i32(2));
+    let a = b.bin(
+        BinOp::AShr,
+        Type::I32,
+        Value::const_i32(-8),
+        Value::const_i32(2),
+    );
     b.print_i64(a);
     // i64 logical shift of a negative value.
-    let w = b.bin(BinOp::LShr, Type::I64, Value::const_i64(-1), Value::const_i64(60));
+    let w = b.bin(
+        BinOp::LShr,
+        Type::I64,
+        Value::const_i64(-1),
+        Value::const_i64(60),
+    );
     b.print_i64(w);
     b.ret(None);
     m.add_function(b.finish());
@@ -99,8 +114,18 @@ fn srem_and_sdiv_signs() {
     let mut m = Module::new("t");
     let mut b = FunctionBuilder::new("main", vec![], None);
     for (x, y) in [(7i64, 3i64), (-7, 3), (7, -3), (-7, -3)] {
-        let q = b.bin(BinOp::SDiv, Type::I64, Value::const_i64(x), Value::const_i64(y));
-        let r = b.bin(BinOp::SRem, Type::I64, Value::const_i64(x), Value::const_i64(y));
+        let q = b.bin(
+            BinOp::SDiv,
+            Type::I64,
+            Value::const_i64(x),
+            Value::const_i64(y),
+        );
+        let r = b.bin(
+            BinOp::SRem,
+            Type::I64,
+            Value::const_i64(x),
+            Value::const_i64(y),
+        );
         b.print_i64(q);
         b.print_i64(r);
     }
@@ -123,17 +148,35 @@ struct NestingCheck {
 }
 
 impl Hooks for NestingCheck {
-    fn on_loop_enter(&mut self, _: &ExecCtx, _: privateer_ir::FuncId, _: privateer_ir::loops::LoopId) {
+    fn on_loop_enter(
+        &mut self,
+        _: &ExecCtx,
+        _: privateer_ir::FuncId,
+        _: privateer_ir::loops::LoopId,
+    ) {
         self.depth += 1;
         self.max_depth = self.max_depth.max(self.depth);
         self.enters += 1;
     }
-    fn on_loop_exit(&mut self, _: &ExecCtx, _: privateer_ir::FuncId, _: privateer_ir::loops::LoopId, _: u64) {
+    fn on_loop_exit(
+        &mut self,
+        _: &ExecCtx,
+        _: privateer_ir::FuncId,
+        _: privateer_ir::loops::LoopId,
+        _: u64,
+    ) {
         self.depth -= 1;
         assert!(self.depth >= 0, "loop exit without enter");
         self.exits += 1;
     }
-    fn on_loop_iter(&mut self, _: &ExecCtx, _: privateer_ir::FuncId, _: privateer_ir::loops::LoopId, _: u64, _: &AddressSpace) {
+    fn on_loop_iter(
+        &mut self,
+        _: &ExecCtx,
+        _: privateer_ir::FuncId,
+        _: privateer_ir::loops::LoopId,
+        _: u64,
+        _: &AddressSpace,
+    ) {
         self.iters += 1;
     }
 }
@@ -175,7 +218,9 @@ fn loop_events_balance_across_early_returns() {
         let mut b = FunctionBuilder::new("main", vec![], None);
         // Call leaf 3 times: n=1 (normal exit), n=5 (early return), n=0.
         for n in [1i64, 5, 0] {
-            let r = b.call(leaf_id, vec![Value::const_i64(n)], Some(Type::I64)).unwrap();
+            let r = b
+                .call(leaf_id, vec![Value::const_i64(n)], Some(Type::I64))
+                .unwrap();
             b.print_i64(r);
         }
         b.ret(None);

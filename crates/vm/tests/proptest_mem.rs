@@ -18,8 +18,11 @@ fn op_strategy() -> impl Strategy<Value = MemOp> {
     prop_oneof![
         (addr.clone(), prop::collection::vec(any::<u8>(), 1..64))
             .prop_map(|(addr, bytes)| MemOp::Write { addr, bytes }),
-        (addr.clone(), 1u64..300, any::<u8>())
-            .prop_map(|(addr, len, byte)| MemOp::Fill { addr, len, byte }),
+        (addr.clone(), 1u64..300, any::<u8>()).prop_map(|(addr, len, byte)| MemOp::Fill {
+            addr,
+            len,
+            byte
+        }),
         (addr, 1usize..64).prop_map(|(addr, len)| MemOp::Read { addr, len }),
     ]
 }

@@ -121,170 +121,175 @@ pub fn build(p: &Params) -> Module {
     let train_id = FuncId::new(1);
     {
         let mut b = FunctionBuilder::new("train_epoch", vec![], None);
-        for_loop(&mut b, Value::const_i64(0), Value::const_i64(p.examples as i64), |b, ex| {
-            let hid = b.load(Type::Ptr, Value::Global(g_hid));
-            let out = b.load(Type::Ptr, Value::Global(g_out));
-            let onet = b.load(Type::Ptr, Value::Global(g_onet));
-            let odelta = b.load(Type::Ptr, Value::Global(g_odelta));
-            let xbase = b.mul(Type::I64, ex, Value::const_i64(ni));
-            let tbase = b.mul(Type::I64, ex, Value::const_i64(no));
+        for_loop(
+            &mut b,
+            Value::const_i64(0),
+            Value::const_i64(p.examples as i64),
+            |b, ex| {
+                let hid = b.load(Type::Ptr, Value::Global(g_hid));
+                let out = b.load(Type::Ptr, Value::Global(g_out));
+                let onet = b.load(Type::Ptr, Value::Global(g_onet));
+                let odelta = b.load(Type::Ptr, Value::Global(g_odelta));
+                let xbase = b.mul(Type::I64, ex, Value::const_i64(ni));
+                let tbase = b.mul(Type::I64, ex, Value::const_i64(no));
 
-            // Forward, hidden layer: hid[j] = sigmoid(Σ_k x[k]·w1[k·H+j]).
-            for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
-                let slot = b.gep(hid, j, 8, 0);
-                b.store(Type::F64, Value::const_f64(0.0), slot);
-            });
-            for_loop(b, Value::const_i64(0), Value::const_i64(ni), |b, k| {
-                let xi = b.add(Type::I64, xbase, k);
-                let xslot = b.gep(Value::Global(g_x), xi, 8, 0);
-                let x = b.load(Type::F64, xslot);
-                let wrow = b.mul(Type::I64, k, Value::const_i64(nh));
+                // Forward, hidden layer: hid[j] = sigmoid(Σ_k x[k]·w1[k·H+j]).
                 for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
-                    let wi = b.add(Type::I64, wrow, j);
-                    let wslot = b.gep(Value::Global(g_w1), wi, 8, 0);
-                    let w = b.load(Type::F64, wslot);
-                    let hslot = b.gep(hid, j, 8, 0);
-                    let h = b.load(Type::F64, hslot);
-                    let xw = b.fmul(x, w);
-                    let h2 = b.fadd(h, xw);
-                    b.store(Type::F64, h2, hslot);
+                    let slot = b.gep(hid, j, 8, 0);
+                    b.store(Type::F64, Value::const_f64(0.0), slot);
                 });
-            });
-            for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
-                let hslot = b.gep(hid, j, 8, 0);
-                let h = b.load(Type::F64, hslot);
-                let s = b.call(sigmoid_id, vec![h], Some(Type::F64)).unwrap();
-                b.store(Type::F64, s, hslot);
-            });
-
-            // Forward, output layer.
-            for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
-                let oslot = b.gep(onet, o, 8, 0);
-                b.store(Type::F64, Value::const_f64(0.0), oslot);
-            });
-            for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
-                let hslot = b.gep(hid, j, 8, 0);
-                let h = b.load(Type::F64, hslot);
-                let wrow = b.mul(Type::I64, j, Value::const_i64(no));
-                for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
-                    let wi = b.add(Type::I64, wrow, o);
-                    let wslot = b.gep(Value::Global(g_w2), wi, 8, 0);
-                    let w = b.load(Type::F64, wslot);
-                    let oslot = b.gep(onet, o, 8, 0);
-                    let acc = b.load(Type::F64, oslot);
-                    let hw = b.fmul(h, w);
-                    let a2 = b.fadd(acc, hw);
-                    b.store(Type::F64, a2, oslot);
-                });
-            });
-            for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
-                let oslot = b.gep(onet, o, 8, 0);
-                let v = b.load(Type::F64, oslot);
-                let s = b.call(sigmoid_id, vec![v], Some(Type::F64)).unwrap();
-                let dst = b.gep(out, o, 8, 0);
-                b.store(Type::F64, s, dst);
-            });
-
-            // Error + output deltas; err_fix += round(d² · FIX).
-            for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
-                let ti = b.add(Type::I64, tbase, o);
-                let tslot = b.gep(Value::Global(g_t), ti, 8, 0);
-                let t = b.load(Type::F64, tslot);
-                let oslot = b.gep(out, o, 8, 0);
-                let y = b.load(Type::F64, oslot);
-                let d = b.fsub(t, y);
-                let d2 = b.fmul(d, d);
-                let scaled = b.fmul(d2, Value::const_f64(FIX));
-                let fx = b.fptosi(scaled, Type::I64);
-                let e0 = b.load(Type::I64, Value::Global(g_err));
-                let e1 = b.add(Type::I64, e0, fx);
-                b.store(Type::I64, e1, Value::Global(g_err));
-                // delta = d · y · (1-y)
-                let one_y = b.fsub(Value::const_f64(1.0), y);
-                let yy = b.fmul(y, one_y);
-                let delta = b.fmul(d, yy);
-                let dslot = b.gep(odelta, o, 8, 0);
-                b.store(Type::F64, delta, dslot);
-            });
-
-            // Backward: wd2_fix[j·O+o] += round(delta[o]·hid[j]·FIX).
-            for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
-                let hslot = b.gep(hid, j, 8, 0);
-                let h = b.load(Type::F64, hslot);
-                let wrow = b.mul(Type::I64, j, Value::const_i64(no));
-                for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
-                    let dslot = b.gep(odelta, o, 8, 0);
-                    let d = b.load(Type::F64, dslot);
-                    let dh = b.fmul(d, h);
-                    let scaled = b.fmul(dh, Value::const_f64(FIX));
-                    let fx = b.fptosi(scaled, Type::I64);
-                    let wi = b.add(Type::I64, wrow, o);
-                    let wslot = b.gep(Value::Global(g_wd2), wi, 8, 0);
-                    let a = b.load(Type::I64, wslot);
-                    let a2 = b.add(Type::I64, a, fx);
-                    b.store(Type::I64, a2, wslot);
-                });
-            });
-            // Backward to inputs: wd1_fix[k·H+j] += round(x[k]·hdelta_j·FIX)
-            // with hdelta_j = hid[j]·(1-hid[j])·Σ_o delta[o]·w2[j·O+o],
-            // the inner sum kept in SSA (no extra private array needed).
-            for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
-                let hslot = b.gep(hid, j, 8, 0);
-                let h = b.load(Type::F64, hslot);
-                // Σ_o delta[o]·w2[j·O+o] via a memory cell on odelta's
-                // scratch tail? Keep it in the hidden array slot's
-                // recomputation: use onet[0..] is taken; use a plain
-                // sequential SSA loop:
-                let wrow = b.mul(Type::I64, j, Value::const_i64(no));
-                // SSA accumulation loop.
-                let pre = b.current_block();
-                let header = b.new_block();
-                let body_bb = b.new_block();
-                let exit = b.new_block();
-                let _ = pre;
-                let entry_block = b.current_block();
-                b.br(header);
-                b.switch_to(header);
-                let (o, o_phi) = b.phi(Type::I64);
-                let (sum, sum_phi) = b.phi(Type::F64);
-                b.add_phi_incoming(o_phi, entry_block, Value::const_i64(0));
-                b.add_phi_incoming(sum_phi, entry_block, Value::const_f64(0.0));
-                let c = b.icmp(CmpOp::Lt, o, Value::const_i64(no));
-                b.cond_br(c, body_bb, exit);
-                b.switch_to(body_bb);
-                let dslot = b.gep(odelta, o, 8, 0);
-                let d = b.load(Type::F64, dslot);
-                let wi = b.add(Type::I64, wrow, o);
-                let wslot = b.gep(Value::Global(g_w2), wi, 8, 0);
-                let w = b.load(Type::F64, wslot);
-                let dw = b.fmul(d, w);
-                let sum2 = b.fadd(sum, dw);
-                let o2 = b.add(Type::I64, o, Value::const_i64(1));
-                let latch = b.current_block();
-                b.add_phi_incoming(o_phi, latch, o2);
-                b.add_phi_incoming(sum_phi, latch, sum2);
-                b.br(header);
-                b.switch_to(exit);
-
-                let one_h = b.fsub(Value::const_f64(1.0), h);
-                let hh = b.fmul(h, one_h);
-                let hdelta = b.fmul(sum, hh);
                 for_loop(b, Value::const_i64(0), Value::const_i64(ni), |b, k| {
                     let xi = b.add(Type::I64, xbase, k);
                     let xslot = b.gep(Value::Global(g_x), xi, 8, 0);
                     let x = b.load(Type::F64, xslot);
-                    let xd = b.fmul(x, hdelta);
-                    let scaled = b.fmul(xd, Value::const_f64(FIX));
-                    let fx = b.fptosi(scaled, Type::I64);
-                    let wrow2 = b.mul(Type::I64, k, Value::const_i64(nh));
-                    let wi = b.add(Type::I64, wrow2, j);
-                    let wslot = b.gep(Value::Global(g_wd1), wi, 8, 0);
-                    let a = b.load(Type::I64, wslot);
-                    let a2 = b.add(Type::I64, a, fx);
-                    b.store(Type::I64, a2, wslot);
+                    let wrow = b.mul(Type::I64, k, Value::const_i64(nh));
+                    for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
+                        let wi = b.add(Type::I64, wrow, j);
+                        let wslot = b.gep(Value::Global(g_w1), wi, 8, 0);
+                        let w = b.load(Type::F64, wslot);
+                        let hslot = b.gep(hid, j, 8, 0);
+                        let h = b.load(Type::F64, hslot);
+                        let xw = b.fmul(x, w);
+                        let h2 = b.fadd(h, xw);
+                        b.store(Type::F64, h2, hslot);
+                    });
                 });
-            });
-        });
+                for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
+                    let hslot = b.gep(hid, j, 8, 0);
+                    let h = b.load(Type::F64, hslot);
+                    let s = b.call(sigmoid_id, vec![h], Some(Type::F64)).unwrap();
+                    b.store(Type::F64, s, hslot);
+                });
+
+                // Forward, output layer.
+                for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
+                    let oslot = b.gep(onet, o, 8, 0);
+                    b.store(Type::F64, Value::const_f64(0.0), oslot);
+                });
+                for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
+                    let hslot = b.gep(hid, j, 8, 0);
+                    let h = b.load(Type::F64, hslot);
+                    let wrow = b.mul(Type::I64, j, Value::const_i64(no));
+                    for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
+                        let wi = b.add(Type::I64, wrow, o);
+                        let wslot = b.gep(Value::Global(g_w2), wi, 8, 0);
+                        let w = b.load(Type::F64, wslot);
+                        let oslot = b.gep(onet, o, 8, 0);
+                        let acc = b.load(Type::F64, oslot);
+                        let hw = b.fmul(h, w);
+                        let a2 = b.fadd(acc, hw);
+                        b.store(Type::F64, a2, oslot);
+                    });
+                });
+                for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
+                    let oslot = b.gep(onet, o, 8, 0);
+                    let v = b.load(Type::F64, oslot);
+                    let s = b.call(sigmoid_id, vec![v], Some(Type::F64)).unwrap();
+                    let dst = b.gep(out, o, 8, 0);
+                    b.store(Type::F64, s, dst);
+                });
+
+                // Error + output deltas; err_fix += round(d² · FIX).
+                for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
+                    let ti = b.add(Type::I64, tbase, o);
+                    let tslot = b.gep(Value::Global(g_t), ti, 8, 0);
+                    let t = b.load(Type::F64, tslot);
+                    let oslot = b.gep(out, o, 8, 0);
+                    let y = b.load(Type::F64, oslot);
+                    let d = b.fsub(t, y);
+                    let d2 = b.fmul(d, d);
+                    let scaled = b.fmul(d2, Value::const_f64(FIX));
+                    let fx = b.fptosi(scaled, Type::I64);
+                    let e0 = b.load(Type::I64, Value::Global(g_err));
+                    let e1 = b.add(Type::I64, e0, fx);
+                    b.store(Type::I64, e1, Value::Global(g_err));
+                    // delta = d · y · (1-y)
+                    let one_y = b.fsub(Value::const_f64(1.0), y);
+                    let yy = b.fmul(y, one_y);
+                    let delta = b.fmul(d, yy);
+                    let dslot = b.gep(odelta, o, 8, 0);
+                    b.store(Type::F64, delta, dslot);
+                });
+
+                // Backward: wd2_fix[j·O+o] += round(delta[o]·hid[j]·FIX).
+                for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
+                    let hslot = b.gep(hid, j, 8, 0);
+                    let h = b.load(Type::F64, hslot);
+                    let wrow = b.mul(Type::I64, j, Value::const_i64(no));
+                    for_loop(b, Value::const_i64(0), Value::const_i64(no), |b, o| {
+                        let dslot = b.gep(odelta, o, 8, 0);
+                        let d = b.load(Type::F64, dslot);
+                        let dh = b.fmul(d, h);
+                        let scaled = b.fmul(dh, Value::const_f64(FIX));
+                        let fx = b.fptosi(scaled, Type::I64);
+                        let wi = b.add(Type::I64, wrow, o);
+                        let wslot = b.gep(Value::Global(g_wd2), wi, 8, 0);
+                        let a = b.load(Type::I64, wslot);
+                        let a2 = b.add(Type::I64, a, fx);
+                        b.store(Type::I64, a2, wslot);
+                    });
+                });
+                // Backward to inputs: wd1_fix[k·H+j] += round(x[k]·hdelta_j·FIX)
+                // with hdelta_j = hid[j]·(1-hid[j])·Σ_o delta[o]·w2[j·O+o],
+                // the inner sum kept in SSA (no extra private array needed).
+                for_loop(b, Value::const_i64(0), Value::const_i64(nh), |b, j| {
+                    let hslot = b.gep(hid, j, 8, 0);
+                    let h = b.load(Type::F64, hslot);
+                    // Σ_o delta[o]·w2[j·O+o] via a memory cell on odelta's
+                    // scratch tail? Keep it in the hidden array slot's
+                    // recomputation: use onet[0..] is taken; use a plain
+                    // sequential SSA loop:
+                    let wrow = b.mul(Type::I64, j, Value::const_i64(no));
+                    // SSA accumulation loop.
+                    let pre = b.current_block();
+                    let header = b.new_block();
+                    let body_bb = b.new_block();
+                    let exit = b.new_block();
+                    let _ = pre;
+                    let entry_block = b.current_block();
+                    b.br(header);
+                    b.switch_to(header);
+                    let (o, o_phi) = b.phi(Type::I64);
+                    let (sum, sum_phi) = b.phi(Type::F64);
+                    b.add_phi_incoming(o_phi, entry_block, Value::const_i64(0));
+                    b.add_phi_incoming(sum_phi, entry_block, Value::const_f64(0.0));
+                    let c = b.icmp(CmpOp::Lt, o, Value::const_i64(no));
+                    b.cond_br(c, body_bb, exit);
+                    b.switch_to(body_bb);
+                    let dslot = b.gep(odelta, o, 8, 0);
+                    let d = b.load(Type::F64, dslot);
+                    let wi = b.add(Type::I64, wrow, o);
+                    let wslot = b.gep(Value::Global(g_w2), wi, 8, 0);
+                    let w = b.load(Type::F64, wslot);
+                    let dw = b.fmul(d, w);
+                    let sum2 = b.fadd(sum, dw);
+                    let o2 = b.add(Type::I64, o, Value::const_i64(1));
+                    let latch = b.current_block();
+                    b.add_phi_incoming(o_phi, latch, o2);
+                    b.add_phi_incoming(sum_phi, latch, sum2);
+                    b.br(header);
+                    b.switch_to(exit);
+
+                    let one_h = b.fsub(Value::const_f64(1.0), h);
+                    let hh = b.fmul(h, one_h);
+                    let hdelta = b.fmul(sum, hh);
+                    for_loop(b, Value::const_i64(0), Value::const_i64(ni), |b, k| {
+                        let xi = b.add(Type::I64, xbase, k);
+                        let xslot = b.gep(Value::Global(g_x), xi, 8, 0);
+                        let x = b.load(Type::F64, xslot);
+                        let xd = b.fmul(x, hdelta);
+                        let scaled = b.fmul(xd, Value::const_f64(FIX));
+                        let fx = b.fptosi(scaled, Type::I64);
+                        let wrow2 = b.mul(Type::I64, k, Value::const_i64(nh));
+                        let wi = b.add(Type::I64, wrow2, j);
+                        let wslot = b.gep(Value::Global(g_wd1), wi, 8, 0);
+                        let a = b.load(Type::I64, wslot);
+                        let a2 = b.add(Type::I64, a, fx);
+                        b.store(Type::I64, a2, wslot);
+                    });
+                });
+            },
+        );
         b.ret(None);
         m.add_function(b.finish());
     }
@@ -302,31 +307,36 @@ pub fn build(p: &Params) -> Module {
         b.store(Type::Ptr, onet, Value::Global(g_onet));
         b.store(Type::Ptr, odelta, Value::Global(g_odelta));
 
-        for_loop(&mut b, Value::const_i64(0), Value::const_i64(p.epochs as i64), |b, _| {
-            b.call(train_id, vec![], None);
-            // Fold: w += LR · (wd / FIX) / EX; wd = 0. (Affine loops —
-            // these are what the DOALL-only baseline manages to pick up.)
-            let fold = |b: &mut FunctionBuilder, w, wd, count: i64| {
-                for_loop(b, Value::const_i64(0), Value::const_i64(count), |b, i| {
-                    let ds = b.gep(Value::Global(wd), i, 8, 0);
-                    let dfix = b.load(Type::I64, ds);
-                    let df = b.sitofp(dfix);
-                    let d = b.fdiv(df, Value::const_f64(FIX));
-                    let lr = b.fmul(d, Value::const_f64(LR));
-                    let ws = b.gep(Value::Global(w), i, 8, 0);
-                    let wv = b.load(Type::F64, ws);
-                    let w2 = b.fadd(wv, lr);
-                    b.store(Type::F64, w2, ws);
-                    let ds2 = b.gep(Value::Global(wd), i, 8, 0);
-                    b.store(Type::I64, Value::const_i64(0), ds2);
-                });
-            };
-            fold(b, g_w1, g_wd1, ni * nh);
-            fold(b, g_w2, g_wd2, nh * no);
-            let e = b.load(Type::I64, Value::Global(g_err));
-            b.print_i64(e);
-            b.store(Type::I64, Value::const_i64(0), Value::Global(g_err));
-        });
+        for_loop(
+            &mut b,
+            Value::const_i64(0),
+            Value::const_i64(p.epochs as i64),
+            |b, _| {
+                b.call(train_id, vec![], None);
+                // Fold: w += LR · (wd / FIX) / EX; wd = 0. (Affine loops —
+                // these are what the DOALL-only baseline manages to pick up.)
+                let fold = |b: &mut FunctionBuilder, w, wd, count: i64| {
+                    for_loop(b, Value::const_i64(0), Value::const_i64(count), |b, i| {
+                        let ds = b.gep(Value::Global(wd), i, 8, 0);
+                        let dfix = b.load(Type::I64, ds);
+                        let df = b.sitofp(dfix);
+                        let d = b.fdiv(df, Value::const_f64(FIX));
+                        let lr = b.fmul(d, Value::const_f64(LR));
+                        let ws = b.gep(Value::Global(w), i, 8, 0);
+                        let wv = b.load(Type::F64, ws);
+                        let w2 = b.fadd(wv, lr);
+                        b.store(Type::F64, w2, ws);
+                        let ds2 = b.gep(Value::Global(wd), i, 8, 0);
+                        b.store(Type::I64, Value::const_i64(0), ds2);
+                    });
+                };
+                fold(b, g_w1, g_wd1, ni * nh);
+                fold(b, g_w2, g_wd2, nh * no);
+                let e = b.load(Type::I64, Value::Global(g_err));
+                b.print_i64(e);
+                b.store(Type::I64, Value::const_i64(0), Value::Global(g_err));
+            },
+        );
         b.ret(None);
         m.add_function(b.finish());
     }

@@ -87,7 +87,8 @@ fn cndf(x: f64) -> f64 {
     let k = 1.0 / (1.0 + 0.231_641_9 * ax);
     let poly = k
         * (0.319_381_530
-            + k * (-0.356_563_782 + k * (1.781_477_937 + k * (-1.821_255_978 + k * 1.330_274_429))));
+            + k * (-0.356_563_782
+                + k * (1.781_477_937 + k * (-1.821_255_978 + k * 1.330_274_429))));
     // Parenthesized to match the IR build's operation order exactly
     // (floating-point multiplication is not associative).
     let n = 1.0 - INV_SQRT_2PI * ((-ax * ax / 2.0).exp() * poly);
@@ -119,10 +120,22 @@ pub fn build(p: &Params) -> Module {
     let inp = inputs(p);
     let mut m = Module::new("blackscholes");
 
-    let g_spt = m.add_global_init("sptprice", (p.options * 8) as u64, GlobalInit::F64s(inp.sptprice));
-    let g_strike = m.add_global_init("strike", (p.options * 8) as u64, GlobalInit::F64s(inp.strike));
+    let g_spt = m.add_global_init(
+        "sptprice",
+        (p.options * 8) as u64,
+        GlobalInit::F64s(inp.sptprice),
+    );
+    let g_strike = m.add_global_init(
+        "strike",
+        (p.options * 8) as u64,
+        GlobalInit::F64s(inp.strike),
+    );
     let g_rate = m.add_global_init("rate", (p.options * 8) as u64, GlobalInit::F64s(inp.rate));
-    let g_vol = m.add_global_init("volatility", (p.options * 8) as u64, GlobalInit::F64s(inp.volatility));
+    let g_vol = m.add_global_init(
+        "volatility",
+        (p.options * 8) as u64,
+        GlobalInit::F64s(inp.volatility),
+    );
     let g_time = m.add_global_init("time", (p.options * 8) as u64, GlobalInit::F64s(inp.time));
     let g_otype = m.add_global_init("otype", (p.options * 8) as u64, GlobalInit::I64s(inp.otype));
     let g_tmp = m.add_global("tmp_out", (p.options * 8) as u64);
@@ -143,90 +156,101 @@ pub fn build(p: &Params) -> Module {
     {
         let mut b = FunctionBuilder::new("main", vec![], None);
         b.call(alloc_prices, vec![], None);
-        for_loop(&mut b, Value::const_i64(0), Value::const_i64(runs), |b, _run| {
-            // Inner compute loop: statically provable DOALL.
-            for_loop(b, Value::const_i64(0), Value::const_i64(n), |b, i| {
-                let ld = |b: &mut FunctionBuilder, g| {
-                    let slot = b.gep(Value::Global(g), i, 8, 0);
-                    b.load(Type::F64, slot)
-                };
-                let s = ld(b, g_spt);
-                let k = ld(b, g_strike);
-                let r = ld(b, g_rate);
-                let v = ld(b, g_vol);
-                let t = ld(b, g_time);
-                let oslot = b.gep(Value::Global(g_otype), i, 8, 0);
-                let oty = b.load(Type::I64, oslot);
+        for_loop(
+            &mut b,
+            Value::const_i64(0),
+            Value::const_i64(runs),
+            |b, _run| {
+                // Inner compute loop: statically provable DOALL.
+                for_loop(b, Value::const_i64(0), Value::const_i64(n), |b, i| {
+                    let ld = |b: &mut FunctionBuilder, g| {
+                        let slot = b.gep(Value::Global(g), i, 8, 0);
+                        b.load(Type::F64, slot)
+                    };
+                    let s = ld(b, g_spt);
+                    let k = ld(b, g_strike);
+                    let r = ld(b, g_rate);
+                    let v = ld(b, g_vol);
+                    let t = ld(b, g_time);
+                    let oslot = b.gep(Value::Global(g_otype), i, 8, 0);
+                    let oty = b.load(Type::I64, oslot);
 
-                let sqrt_t = b.intrinsic(privateer_ir::Intrinsic::Sqrt, vec![t]).unwrap();
-                let s_over_k = b.fdiv(s, k);
-                let ln_sk = b.intrinsic(privateer_ir::Intrinsic::Log, vec![s_over_k]).unwrap();
-                let vv = b.fmul(v, v);
-                let vv2 = b.fdiv(vv, Value::const_f64(2.0));
-                let rv = b.fadd(r, vv2);
-                let rvt = b.fmul(rv, t);
-                let num = b.fadd(ln_sk, rvt);
-                let den = b.fmul(v, sqrt_t);
-                let d1 = b.fdiv(num, den);
-                let vsq = b.fmul(v, sqrt_t);
-                let d2 = b.fsub(d1, vsq);
+                    let sqrt_t = b.intrinsic(privateer_ir::Intrinsic::Sqrt, vec![t]).unwrap();
+                    let s_over_k = b.fdiv(s, k);
+                    let ln_sk = b
+                        .intrinsic(privateer_ir::Intrinsic::Log, vec![s_over_k])
+                        .unwrap();
+                    let vv = b.fmul(v, v);
+                    let vv2 = b.fdiv(vv, Value::const_f64(2.0));
+                    let rv = b.fadd(r, vv2);
+                    let rvt = b.fmul(rv, t);
+                    let num = b.fadd(ln_sk, rvt);
+                    let den = b.fmul(v, sqrt_t);
+                    let d1 = b.fdiv(num, den);
+                    let vsq = b.fmul(v, sqrt_t);
+                    let d2 = b.fsub(d1, vsq);
 
-                // Branch-free CNDF(x), twice.
-                let cndf_ir = |b: &mut FunctionBuilder, x: Value| -> Value {
-                    let ax = b.intrinsic(privateer_ir::Intrinsic::FAbs, vec![x]).unwrap();
-                    let kx = b.fmul(Value::const_f64(0.231_641_9), ax);
-                    let k1 = b.fadd(Value::const_f64(1.0), kx);
-                    let kk = b.fdiv(Value::const_f64(1.0), k1);
-                    let p4 = b.fmul(kk, Value::const_f64(1.330_274_429));
-                    let p3a = b.fadd(Value::const_f64(-1.821_255_978), p4);
-                    let p3 = b.fmul(kk, p3a);
-                    let p2a = b.fadd(Value::const_f64(1.781_477_937), p3);
-                    let p2 = b.fmul(kk, p2a);
-                    let p1a = b.fadd(Value::const_f64(-0.356_563_782), p2);
-                    let p1 = b.fmul(kk, p1a);
-                    let p0a = b.fadd(Value::const_f64(0.319_381_530), p1);
-                    let poly = b.fmul(kk, p0a);
-                    let ax2 = b.fmul(ax, ax);
-                    let mh = b.fdiv(ax2, Value::const_f64(2.0));
-                    let negmh = b.fsub(Value::const_f64(0.0), mh);
-                    let ex = b.intrinsic(privateer_ir::Intrinsic::Exp, vec![negmh]).unwrap();
-                    let ep = b.fmul(ex, poly);
-                    let c = b.fmul(Value::const_f64(INV_SQRT_2PI), ep);
-                    let nn = b.fsub(Value::const_f64(1.0), c);
-                    let flip = b.fsub(Value::const_f64(1.0), nn);
-                    let neg = b.fcmp(privateer_ir::CmpOp::Lt, x, Value::const_f64(0.0));
-                    b.select(Type::F64, neg, flip, nn)
-                };
-                let nd1 = cndf_ir(b, d1);
-                let nd2 = cndf_ir(b, d2);
+                    // Branch-free CNDF(x), twice.
+                    let cndf_ir = |b: &mut FunctionBuilder, x: Value| -> Value {
+                        let ax = b.intrinsic(privateer_ir::Intrinsic::FAbs, vec![x]).unwrap();
+                        let kx = b.fmul(Value::const_f64(0.231_641_9), ax);
+                        let k1 = b.fadd(Value::const_f64(1.0), kx);
+                        let kk = b.fdiv(Value::const_f64(1.0), k1);
+                        let p4 = b.fmul(kk, Value::const_f64(1.330_274_429));
+                        let p3a = b.fadd(Value::const_f64(-1.821_255_978), p4);
+                        let p3 = b.fmul(kk, p3a);
+                        let p2a = b.fadd(Value::const_f64(1.781_477_937), p3);
+                        let p2 = b.fmul(kk, p2a);
+                        let p1a = b.fadd(Value::const_f64(-0.356_563_782), p2);
+                        let p1 = b.fmul(kk, p1a);
+                        let p0a = b.fadd(Value::const_f64(0.319_381_530), p1);
+                        let poly = b.fmul(kk, p0a);
+                        let ax2 = b.fmul(ax, ax);
+                        let mh = b.fdiv(ax2, Value::const_f64(2.0));
+                        let negmh = b.fsub(Value::const_f64(0.0), mh);
+                        let ex = b
+                            .intrinsic(privateer_ir::Intrinsic::Exp, vec![negmh])
+                            .unwrap();
+                        let ep = b.fmul(ex, poly);
+                        let c = b.fmul(Value::const_f64(INV_SQRT_2PI), ep);
+                        let nn = b.fsub(Value::const_f64(1.0), c);
+                        let flip = b.fsub(Value::const_f64(1.0), nn);
+                        let neg = b.fcmp(privateer_ir::CmpOp::Lt, x, Value::const_f64(0.0));
+                        b.select(Type::F64, neg, flip, nn)
+                    };
+                    let nd1 = cndf_ir(b, d1);
+                    let nd2 = cndf_ir(b, d2);
 
-                let rt = b.fmul(r, t);
-                let nrt = b.fsub(Value::const_f64(0.0), rt);
-                let e = b.intrinsic(privateer_ir::Intrinsic::Exp, vec![nrt]).unwrap();
-                let snd1 = b.fmul(s, nd1);
-                let ke = b.fmul(k, e);
-                let kend2 = b.fmul(ke, nd2);
-                let call = b.fsub(snd1, kend2);
-                let one_nd2 = b.fsub(Value::const_f64(1.0), nd2);
-                let one_nd1 = b.fsub(Value::const_f64(1.0), nd1);
-                let kp = b.fmul(ke, one_nd2);
-                let sp = b.fmul(s, one_nd1);
-                let put = b.fsub(kp, sp);
-                let is_call = b.icmp(privateer_ir::CmpOp::Eq, oty, Value::const_i64(0));
-                let price = b.select(Type::F64, is_call, call, put);
-                let tslot = b.gep(Value::Global(g_tmp), i, 8, 0);
-                b.store(Type::F64, price, tslot);
-            });
-            // Copy loop: through the pointer loaded from the global — this
-            // is what blocks static analysis on the outer loop.
-            for_loop(b, Value::const_i64(0), Value::const_i64(n), |b, i| {
-                let buf = b.load(Type::Ptr, Value::Global(g_prices_ptr));
-                let t = b.gep(Value::Global(g_tmp), i, 8, 0);
-                let v = b.load(Type::F64, t);
-                let d = b.gep(buf, i, 8, 0);
-                b.store(Type::F64, v, d);
-            });
-        });
+                    let rt = b.fmul(r, t);
+                    let nrt = b.fsub(Value::const_f64(0.0), rt);
+                    let e = b
+                        .intrinsic(privateer_ir::Intrinsic::Exp, vec![nrt])
+                        .unwrap();
+                    let snd1 = b.fmul(s, nd1);
+                    let ke = b.fmul(k, e);
+                    let kend2 = b.fmul(ke, nd2);
+                    let call = b.fsub(snd1, kend2);
+                    let one_nd2 = b.fsub(Value::const_f64(1.0), nd2);
+                    let one_nd1 = b.fsub(Value::const_f64(1.0), nd1);
+                    let kp = b.fmul(ke, one_nd2);
+                    let sp = b.fmul(s, one_nd1);
+                    let put = b.fsub(kp, sp);
+                    let is_call = b.icmp(privateer_ir::CmpOp::Eq, oty, Value::const_i64(0));
+                    let price = b.select(Type::F64, is_call, call, put);
+                    let tslot = b.gep(Value::Global(g_tmp), i, 8, 0);
+                    b.store(Type::F64, price, tslot);
+                });
+                // Copy loop: through the pointer loaded from the global — this
+                // is what blocks static analysis on the outer loop.
+                for_loop(b, Value::const_i64(0), Value::const_i64(n), |b, i| {
+                    let buf = b.load(Type::Ptr, Value::Global(g_prices_ptr));
+                    let t = b.gep(Value::Global(g_tmp), i, 8, 0);
+                    let v = b.load(Type::F64, t);
+                    let d = b.gep(buf, i, 8, 0);
+                    b.store(Type::F64, v, d);
+                });
+            },
+        );
         // Checksum over the pricing buffer.
         let buf = b.load(Type::Ptr, Value::Global(g_prices_ptr));
         let acc = b.alloca(8, "acc");

@@ -67,7 +67,11 @@ pub fn build(p: &Params) -> Module {
     let mut m = Module::new("dijkstra");
     let q = m.add_global("Q", 16);
     let pathcost = m.add_global("pathcost", (p.n * 8) as u64);
-    let adj = m.add_global_init("adj", (p.n * p.n * 8) as u64, GlobalInit::I64s(adjacency(p)));
+    let adj = m.add_global_init(
+        "adj",
+        (p.n * p.n * 8) as u64,
+        GlobalInit::I64s(adjacency(p)),
+    );
 
     // fn enqueue(v): node = malloc(16); node.vx = v; node.next = NULL;
     //               if Q.tail { Q.tail.next = node } else { Q.head = node }
@@ -128,60 +132,70 @@ pub fn build(p: &Params) -> Module {
     // fn main: hot loop over sources.
     {
         let mut b = FunctionBuilder::new("main", vec![], None);
-        for_loop(&mut b, Value::const_i64(0), Value::const_i64(n), |b, src| {
-            // pathcost[i] = INF for all i; pathcost[src] = 0.
-            for_loop(b, Value::const_i64(0), Value::const_i64(n), |b, i| {
-                let slot = b.gep(Value::Global(pathcost), i, 8, 0);
-                b.store(Type::I64, Value::const_i64(INF), slot);
-            });
-            let sslot = b.gep(Value::Global(pathcost), src, 8, 0);
-            b.store(Type::I64, Value::const_i64(0), sslot);
-            b.call(enqueue_id, vec![src], None);
+        for_loop(
+            &mut b,
+            Value::const_i64(0),
+            Value::const_i64(n),
+            |b, src| {
+                // pathcost[i] = INF for all i; pathcost[src] = 0.
+                for_loop(b, Value::const_i64(0), Value::const_i64(n), |b, i| {
+                    let slot = b.gep(Value::Global(pathcost), i, 8, 0);
+                    b.store(Type::I64, Value::const_i64(INF), slot);
+                });
+                let sslot = b.gep(Value::Global(pathcost), src, 8, 0);
+                b.store(Type::I64, Value::const_i64(0), sslot);
+                b.call(enqueue_id, vec![src], None);
 
-            // while Q.head != NULL { relax }
-            let while_pre = b.current_block();
-            let wh = b.new_block();
-            let wbody = b.new_block();
-            let wexit = b.new_block();
-            let _ = while_pre;
-            b.br(wh);
-            b.switch_to(wh);
-            let head_p = b.gep_const(Value::Global(q), Q_HEAD);
-            let head = b.load(Type::Ptr, head_p);
-            let nonempty = b.icmp(CmpOp::Ne, head, Value::Null);
-            b.cond_br(nonempty, wbody, wexit);
-            b.switch_to(wbody);
-            let v = b.call(dequeue_id, vec![], Some(Type::I64)).unwrap();
-            let dslot = b.gep(Value::Global(pathcost), v, 8, 0);
-            let d = b.load(Type::I64, dslot);
-            for_loop(b, Value::const_i64(0), Value::const_i64(n), |b, i| {
-                let row = b.mul(Type::I64, v, Value::const_i64(n));
-                let idx = b.add(Type::I64, row, i);
-                let wslot = b.gep(Value::Global(adj), idx, 8, 0);
-                let w = b.load(Type::I64, wslot);
-                let has_edge = b.icmp(CmpOp::Ne, w, Value::const_i64(0));
-                if_then(b, has_edge, |b| {
-                    let ncost = b.add(Type::I64, d, w);
-                    let islot = b.gep(Value::Global(pathcost), i, 8, 0);
-                    let cur = b.load(Type::I64, islot);
-                    let better = b.icmp(CmpOp::Gt, cur, ncost);
-                    if_then(b, better, |b| {
-                        let islot2 = b.gep(Value::Global(pathcost), i, 8, 0);
-                        b.store(Type::I64, ncost, islot2);
-                        b.call(FuncId::new(0), vec![i], None);
+                // while Q.head != NULL { relax }
+                let while_pre = b.current_block();
+                let wh = b.new_block();
+                let wbody = b.new_block();
+                let wexit = b.new_block();
+                let _ = while_pre;
+                b.br(wh);
+                b.switch_to(wh);
+                let head_p = b.gep_const(Value::Global(q), Q_HEAD);
+                let head = b.load(Type::Ptr, head_p);
+                let nonempty = b.icmp(CmpOp::Ne, head, Value::Null);
+                b.cond_br(nonempty, wbody, wexit);
+                b.switch_to(wbody);
+                let v = b.call(dequeue_id, vec![], Some(Type::I64)).unwrap();
+                let dslot = b.gep(Value::Global(pathcost), v, 8, 0);
+                let d = b.load(Type::I64, dslot);
+                for_loop(b, Value::const_i64(0), Value::const_i64(n), |b, i| {
+                    let row = b.mul(Type::I64, v, Value::const_i64(n));
+                    let idx = b.add(Type::I64, row, i);
+                    let wslot = b.gep(Value::Global(adj), idx, 8, 0);
+                    let w = b.load(Type::I64, wslot);
+                    let has_edge = b.icmp(CmpOp::Ne, w, Value::const_i64(0));
+                    if_then(b, has_edge, |b| {
+                        let ncost = b.add(Type::I64, d, w);
+                        let islot = b.gep(Value::Global(pathcost), i, 8, 0);
+                        let cur = b.load(Type::I64, islot);
+                        let better = b.icmp(CmpOp::Gt, cur, ncost);
+                        if_then(b, better, |b| {
+                            let islot2 = b.gep(Value::Global(pathcost), i, 8, 0);
+                            b.store(Type::I64, ncost, islot2);
+                            b.call(FuncId::new(0), vec![i], None);
+                        });
                     });
                 });
-            });
-            b.br(wh);
-            b.switch_to(wexit);
+                b.br(wh);
+                b.switch_to(wexit);
 
-            // Print pathcost[(src + n/2) % n].
-            let half = b.add(Type::I64, src, Value::const_i64(n / 2));
-            let dest = b.bin(privateer_ir::BinOp::SRem, Type::I64, half, Value::const_i64(n));
-            let oslot = b.gep(Value::Global(pathcost), dest, 8, 0);
-            let out = b.load(Type::I64, oslot);
-            b.print_i64(out);
-        });
+                // Print pathcost[(src + n/2) % n].
+                let half = b.add(Type::I64, src, Value::const_i64(n / 2));
+                let dest = b.bin(
+                    privateer_ir::BinOp::SRem,
+                    Type::I64,
+                    half,
+                    Value::const_i64(n),
+                );
+                let oslot = b.gep(Value::Global(pathcost), dest, 8, 0);
+                let out = b.load(Type::I64, oslot);
+                b.print_i64(out);
+            },
+        );
         b.ret(None);
         m.add_function(b.finish());
     }

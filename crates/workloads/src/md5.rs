@@ -59,9 +59,7 @@ fn k_table() -> Vec<i64> {
 /// RFC 1321 per-round rotate amounts.
 fn s_table() -> Vec<i64> {
     const S: [i64; 16] = [7, 12, 17, 22, 5, 9, 14, 20, 4, 11, 16, 23, 6, 10, 15, 21];
-    (0..64)
-        .map(|r| S[(r / 16) * 4 + (r % 4)])
-        .collect()
+    (0..64).map(|r| S[(r / 16) * 4 + (r % 4)]).collect()
 }
 
 fn message_bytes(p: &Params) -> Vec<u8> {
@@ -72,7 +70,12 @@ fn message_bytes(p: &Params) -> Vec<u8> {
 }
 
 const M32: i64 = 0xFFFF_FFFF;
-const INIT: [i64; 4] = [0x6745_2301, 0xefcd_ab89u32 as i64, 0x98ba_dcfeu32 as i64, 0x1032_5476];
+const INIT: [i64; 4] = [
+    0x6745_2301,
+    0xefcd_ab89u32 as i64,
+    0x98ba_dcfeu32 as i64,
+    0x1032_5476,
+];
 
 /// Build the IR program.
 #[allow(clippy::too_many_lines)]
@@ -92,173 +95,183 @@ pub fn build(p: &Params) -> Module {
     let g_state = m.add_global("state", 32);
 
     let mut b = FunctionBuilder::new("main", vec![], None);
-    for_loop(&mut b, Value::const_i64(0), Value::const_i64(nmsg), |b, msg| {
-        // Control-speculation bait: impossible oversize path.
-        let too_big = b.icmp(CmpOp::Gt, Value::const_i64(mlen), Value::const_i64(1 << 40));
-        if_then(b, too_big, |b| {
-            b.print_i64(Value::const_i64(-1));
-        });
+    for_loop(
+        &mut b,
+        Value::const_i64(0),
+        Value::const_i64(nmsg),
+        |b, msg| {
+            // Control-speculation bait: impossible oversize path.
+            let too_big = b.icmp(CmpOp::Gt, Value::const_i64(mlen), Value::const_i64(1 << 40));
+            if_then(b, too_big, |b| {
+                b.print_i64(Value::const_i64(-1));
+            });
 
-        // state = INIT (kill: the reused object is overwritten first).
-        for (w, init) in INIT.iter().enumerate() {
-            let slot = b.gep_const(Value::Global(g_state), (w * 8) as i64);
-            b.store(Type::I64, Value::const_i64(*init), slot);
-        }
-
-        // Short-lived padded buffer.
-        let buf = b.malloc(Value::const_i64(plen));
-        let src_base = b.mul(Type::I64, msg, Value::const_i64(mlen));
-        for_loop(b, Value::const_i64(0), Value::const_i64(mlen), |b, i| {
-            let si = b.add(Type::I64, src_base, i);
-            let sslot = b.gep(Value::Global(g_msgs), si, 1, 0);
-            let byte = b.load(Type::I8, sslot);
-            let dslot = b.gep(buf, i, 1, 0);
-            b.store(Type::I8, byte, dslot);
-        });
-        let pad = b.gep(buf, Value::const_i64(mlen), 1, 0);
-        b.store(Type::I8, Value::const_i8(-128), pad); // 0x80
-        for_loop(
-            b,
-            Value::const_i64(mlen + 1),
-            Value::const_i64(plen - 8),
-            |b, i| {
-                let slot = b.gep(buf, i, 1, 0);
-                b.store(Type::I8, Value::const_i8(0), slot);
-            },
-        );
-        let lenslot = b.gep(buf, Value::const_i64(plen - 8), 1, 0);
-        b.store(Type::I64, Value::const_i64(mlen * 8), lenslot);
-
-        // Per 64-byte block.
-        for_loop(b, Value::const_i64(0), Value::const_i64(plen / 64), |b, blk| {
-            let block_base = b.mul(Type::I64, blk, Value::const_i64(64));
-            let lda = |b: &mut FunctionBuilder, w: usize| {
+            // state = INIT (kill: the reused object is overwritten first).
+            for (w, init) in INIT.iter().enumerate() {
                 let slot = b.gep_const(Value::Global(g_state), (w * 8) as i64);
-                b.load(Type::I64, slot)
-            };
-            let a0 = lda(b, 0);
-            let b0 = lda(b, 1);
-            let c0 = lda(b, 2);
-            let d0 = lda(b, 3);
-
-            // Round loop with five loop-carried SSA values.
-            let entry = b.current_block();
-            let header = b.new_block();
-            let body_bb = b.new_block();
-            let exit = b.new_block();
-            b.br(header);
-            b.switch_to(header);
-            let (r, r_phi) = b.phi(Type::I64);
-            let (a, a_phi) = b.phi(Type::I64);
-            let (bb_, b_phi) = b.phi(Type::I64);
-            let (c, c_phi) = b.phi(Type::I64);
-            let (d, d_phi) = b.phi(Type::I64);
-            b.add_phi_incoming(r_phi, entry, Value::const_i64(0));
-            b.add_phi_incoming(a_phi, entry, a0);
-            b.add_phi_incoming(b_phi, entry, b0);
-            b.add_phi_incoming(c_phi, entry, c0);
-            b.add_phi_incoming(d_phi, entry, d0);
-            let cont = b.icmp(CmpOp::Lt, r, Value::const_i64(64));
-            b.cond_br(cont, body_bb, exit);
-            b.switch_to(body_bb);
-
-            let not = |b: &mut FunctionBuilder, x: Value| {
-                b.bin(BinOp::Xor, Type::I64, x, Value::const_i64(M32))
-            };
-            let and = |b: &mut FunctionBuilder, x, y| b.bin(BinOp::And, Type::I64, x, y);
-            let or = |b: &mut FunctionBuilder, x, y| b.bin(BinOp::Or, Type::I64, x, y);
-            let xor = |b: &mut FunctionBuilder, x, y| b.bin(BinOp::Xor, Type::I64, x, y);
-            let m32 = |b: &mut FunctionBuilder, x| and(b, x, Value::const_i64(M32));
-
-            // f for the four round families.
-            let nb = not(b, bb_);
-            let bc = and(b, bb_, c);
-            let nbd = and(b, nb, d);
-            let f0 = or(b, bc, nbd);
-            let db = and(b, d, bb_);
-            let nd = not(b, d);
-            let ndc = and(b, nd, c);
-            let f1 = or(b, db, ndc);
-            let bxc = xor(b, bb_, c);
-            let f2 = xor(b, bxc, d);
-            let bnd = or(b, bb_, nd);
-            let f3 = xor(b, c, bnd);
-
-            // g for the four round families.
-            let g0 = b.bin(BinOp::SRem, Type::I64, r, Value::const_i64(16));
-            let r5 = b.mul(Type::I64, r, Value::const_i64(5));
-            let r5p1 = b.add(Type::I64, r5, Value::const_i64(1));
-            let g1 = b.bin(BinOp::SRem, Type::I64, r5p1, Value::const_i64(16));
-            let r3 = b.mul(Type::I64, r, Value::const_i64(3));
-            let r3p5 = b.add(Type::I64, r3, Value::const_i64(5));
-            let g2 = b.bin(BinOp::SRem, Type::I64, r3p5, Value::const_i64(16));
-            let r7 = b.mul(Type::I64, r, Value::const_i64(7));
-            let g3 = b.bin(BinOp::SRem, Type::I64, r7, Value::const_i64(16));
-
-            let lt16 = b.icmp(CmpOp::Lt, r, Value::const_i64(16));
-            let lt32 = b.icmp(CmpOp::Lt, r, Value::const_i64(32));
-            let lt48 = b.icmp(CmpOp::Lt, r, Value::const_i64(48));
-            let f23 = b.select(Type::I64, lt48, f2, f3);
-            let f123 = b.select(Type::I64, lt32, f1, f23);
-            let f = b.select(Type::I64, lt16, f0, f123);
-            let g23 = b.select(Type::I64, lt48, g2, g3);
-            let g123 = b.select(Type::I64, lt32, g1, g23);
-            let g = b.select(Type::I64, lt16, g0, g123);
-
-            // m = word g of this block (little-endian u32).
-            let g4 = b.mul(Type::I64, g, Value::const_i64(4));
-            let off = b.add(Type::I64, block_base, g4);
-            let mslot = b.gep(buf, off, 1, 0);
-            let mword_s = b.load(Type::I32, mslot);
-            let mword_w = b.sext(mword_s, Type::I64);
-            let mword = m32(b, mword_w);
-
-            let kslot = b.gep(Value::Global(g_k), r, 8, 0);
-            let k = b.load(Type::I64, kslot);
-            let sslot = b.gep(Value::Global(g_s), r, 8, 0);
-            let s = b.load(Type::I64, sslot);
-
-            // x = a + f + k + m (mod 2^32); b' = b + rotl32(x, s).
-            let af = b.add(Type::I64, a, f);
-            let afk = b.add(Type::I64, af, k);
-            let x0 = b.add(Type::I64, afk, mword);
-            let x = m32(b, x0);
-            let sh = b.bin(BinOp::Shl, Type::I64, x, s);
-            let shm = m32(b, sh);
-            let inv = b.sub(Type::I64, Value::const_i64(32), s);
-            let lo = b.bin(BinOp::LShr, Type::I64, x, inv);
-            let rot = or(b, shm, lo);
-            let bpx = b.add(Type::I64, bb_, rot);
-            let new_b = m32(b, bpx);
-
-            let r2 = b.add(Type::I64, r, Value::const_i64(1));
-            let latch = b.current_block();
-            b.add_phi_incoming(r_phi, latch, r2);
-            b.add_phi_incoming(a_phi, latch, d);
-            b.add_phi_incoming(b_phi, latch, new_b);
-            b.add_phi_incoming(c_phi, latch, bb_);
-            b.add_phi_incoming(d_phi, latch, c);
-            b.br(header);
-            b.switch_to(exit);
-
-            // state += (a, b, c, d) (mod 2^32).
-            for (w, v) in [(0usize, a), (1, bb_), (2, c), (3, d)] {
-                let slot = b.gep_const(Value::Global(g_state), (w * 8) as i64);
-                let cur = b.load(Type::I64, slot);
-                let sum = b.add(Type::I64, cur, v);
-                let sm = m32(b, sum);
-                b.store(Type::I64, sm, slot);
+                b.store(Type::I64, Value::const_i64(*init), slot);
             }
-        });
-        b.free(buf);
 
-        // Print the digest words.
-        for w in 0..4usize {
-            let slot = b.gep_const(Value::Global(g_state), (w * 8) as i64);
-            let v = b.load(Type::I64, slot);
-            b.print_i64(v);
-        }
-    });
+            // Short-lived padded buffer.
+            let buf = b.malloc(Value::const_i64(plen));
+            let src_base = b.mul(Type::I64, msg, Value::const_i64(mlen));
+            for_loop(b, Value::const_i64(0), Value::const_i64(mlen), |b, i| {
+                let si = b.add(Type::I64, src_base, i);
+                let sslot = b.gep(Value::Global(g_msgs), si, 1, 0);
+                let byte = b.load(Type::I8, sslot);
+                let dslot = b.gep(buf, i, 1, 0);
+                b.store(Type::I8, byte, dslot);
+            });
+            let pad = b.gep(buf, Value::const_i64(mlen), 1, 0);
+            b.store(Type::I8, Value::const_i8(-128), pad); // 0x80
+            for_loop(
+                b,
+                Value::const_i64(mlen + 1),
+                Value::const_i64(plen - 8),
+                |b, i| {
+                    let slot = b.gep(buf, i, 1, 0);
+                    b.store(Type::I8, Value::const_i8(0), slot);
+                },
+            );
+            let lenslot = b.gep(buf, Value::const_i64(plen - 8), 1, 0);
+            b.store(Type::I64, Value::const_i64(mlen * 8), lenslot);
+
+            // Per 64-byte block.
+            for_loop(
+                b,
+                Value::const_i64(0),
+                Value::const_i64(plen / 64),
+                |b, blk| {
+                    let block_base = b.mul(Type::I64, blk, Value::const_i64(64));
+                    let lda = |b: &mut FunctionBuilder, w: usize| {
+                        let slot = b.gep_const(Value::Global(g_state), (w * 8) as i64);
+                        b.load(Type::I64, slot)
+                    };
+                    let a0 = lda(b, 0);
+                    let b0 = lda(b, 1);
+                    let c0 = lda(b, 2);
+                    let d0 = lda(b, 3);
+
+                    // Round loop with five loop-carried SSA values.
+                    let entry = b.current_block();
+                    let header = b.new_block();
+                    let body_bb = b.new_block();
+                    let exit = b.new_block();
+                    b.br(header);
+                    b.switch_to(header);
+                    let (r, r_phi) = b.phi(Type::I64);
+                    let (a, a_phi) = b.phi(Type::I64);
+                    let (bb_, b_phi) = b.phi(Type::I64);
+                    let (c, c_phi) = b.phi(Type::I64);
+                    let (d, d_phi) = b.phi(Type::I64);
+                    b.add_phi_incoming(r_phi, entry, Value::const_i64(0));
+                    b.add_phi_incoming(a_phi, entry, a0);
+                    b.add_phi_incoming(b_phi, entry, b0);
+                    b.add_phi_incoming(c_phi, entry, c0);
+                    b.add_phi_incoming(d_phi, entry, d0);
+                    let cont = b.icmp(CmpOp::Lt, r, Value::const_i64(64));
+                    b.cond_br(cont, body_bb, exit);
+                    b.switch_to(body_bb);
+
+                    let not = |b: &mut FunctionBuilder, x: Value| {
+                        b.bin(BinOp::Xor, Type::I64, x, Value::const_i64(M32))
+                    };
+                    let and = |b: &mut FunctionBuilder, x, y| b.bin(BinOp::And, Type::I64, x, y);
+                    let or = |b: &mut FunctionBuilder, x, y| b.bin(BinOp::Or, Type::I64, x, y);
+                    let xor = |b: &mut FunctionBuilder, x, y| b.bin(BinOp::Xor, Type::I64, x, y);
+                    let m32 = |b: &mut FunctionBuilder, x| and(b, x, Value::const_i64(M32));
+
+                    // f for the four round families.
+                    let nb = not(b, bb_);
+                    let bc = and(b, bb_, c);
+                    let nbd = and(b, nb, d);
+                    let f0 = or(b, bc, nbd);
+                    let db = and(b, d, bb_);
+                    let nd = not(b, d);
+                    let ndc = and(b, nd, c);
+                    let f1 = or(b, db, ndc);
+                    let bxc = xor(b, bb_, c);
+                    let f2 = xor(b, bxc, d);
+                    let bnd = or(b, bb_, nd);
+                    let f3 = xor(b, c, bnd);
+
+                    // g for the four round families.
+                    let g0 = b.bin(BinOp::SRem, Type::I64, r, Value::const_i64(16));
+                    let r5 = b.mul(Type::I64, r, Value::const_i64(5));
+                    let r5p1 = b.add(Type::I64, r5, Value::const_i64(1));
+                    let g1 = b.bin(BinOp::SRem, Type::I64, r5p1, Value::const_i64(16));
+                    let r3 = b.mul(Type::I64, r, Value::const_i64(3));
+                    let r3p5 = b.add(Type::I64, r3, Value::const_i64(5));
+                    let g2 = b.bin(BinOp::SRem, Type::I64, r3p5, Value::const_i64(16));
+                    let r7 = b.mul(Type::I64, r, Value::const_i64(7));
+                    let g3 = b.bin(BinOp::SRem, Type::I64, r7, Value::const_i64(16));
+
+                    let lt16 = b.icmp(CmpOp::Lt, r, Value::const_i64(16));
+                    let lt32 = b.icmp(CmpOp::Lt, r, Value::const_i64(32));
+                    let lt48 = b.icmp(CmpOp::Lt, r, Value::const_i64(48));
+                    let f23 = b.select(Type::I64, lt48, f2, f3);
+                    let f123 = b.select(Type::I64, lt32, f1, f23);
+                    let f = b.select(Type::I64, lt16, f0, f123);
+                    let g23 = b.select(Type::I64, lt48, g2, g3);
+                    let g123 = b.select(Type::I64, lt32, g1, g23);
+                    let g = b.select(Type::I64, lt16, g0, g123);
+
+                    // m = word g of this block (little-endian u32).
+                    let g4 = b.mul(Type::I64, g, Value::const_i64(4));
+                    let off = b.add(Type::I64, block_base, g4);
+                    let mslot = b.gep(buf, off, 1, 0);
+                    let mword_s = b.load(Type::I32, mslot);
+                    let mword_w = b.sext(mword_s, Type::I64);
+                    let mword = m32(b, mword_w);
+
+                    let kslot = b.gep(Value::Global(g_k), r, 8, 0);
+                    let k = b.load(Type::I64, kslot);
+                    let sslot = b.gep(Value::Global(g_s), r, 8, 0);
+                    let s = b.load(Type::I64, sslot);
+
+                    // x = a + f + k + m (mod 2^32); b' = b + rotl32(x, s).
+                    let af = b.add(Type::I64, a, f);
+                    let afk = b.add(Type::I64, af, k);
+                    let x0 = b.add(Type::I64, afk, mword);
+                    let x = m32(b, x0);
+                    let sh = b.bin(BinOp::Shl, Type::I64, x, s);
+                    let shm = m32(b, sh);
+                    let inv = b.sub(Type::I64, Value::const_i64(32), s);
+                    let lo = b.bin(BinOp::LShr, Type::I64, x, inv);
+                    let rot = or(b, shm, lo);
+                    let bpx = b.add(Type::I64, bb_, rot);
+                    let new_b = m32(b, bpx);
+
+                    let r2 = b.add(Type::I64, r, Value::const_i64(1));
+                    let latch = b.current_block();
+                    b.add_phi_incoming(r_phi, latch, r2);
+                    b.add_phi_incoming(a_phi, latch, d);
+                    b.add_phi_incoming(b_phi, latch, new_b);
+                    b.add_phi_incoming(c_phi, latch, bb_);
+                    b.add_phi_incoming(d_phi, latch, c);
+                    b.br(header);
+                    b.switch_to(exit);
+
+                    // state += (a, b, c, d) (mod 2^32).
+                    for (w, v) in [(0usize, a), (1, bb_), (2, c), (3, d)] {
+                        let slot = b.gep_const(Value::Global(g_state), (w * 8) as i64);
+                        let cur = b.load(Type::I64, slot);
+                        let sum = b.add(Type::I64, cur, v);
+                        let sm = m32(b, sum);
+                        b.store(Type::I64, sm, slot);
+                    }
+                },
+            );
+            b.free(buf);
+
+            // Print the digest words.
+            for w in 0..4usize {
+                let slot = b.gep_const(Value::Global(g_state), (w * 8) as i64);
+                let v = b.load(Type::I64, slot);
+                b.print_i64(v);
+            }
+        },
+    );
     b.ret(None);
     m.add_function(b.finish());
     privateer_ir::verify::verify_module(&m).expect("md5 module is well-formed");
@@ -289,10 +302,7 @@ fn md5_words(msg: &[u8]) -> [u32; 4] {
                 2 => (b ^ c ^ d, (3 * r + 5) % 16),
                 _ => (c ^ (b | !d), (7 * r) % 16),
             };
-            let x = a
-                .wrapping_add(f)
-                .wrapping_add(k[r])
-                .wrapping_add(words[g]);
+            let x = a.wrapping_add(f).wrapping_add(k[r]).wrapping_add(words[g]);
             let nb = b.wrapping_add(x.rotate_left(s[r]));
             a = d;
             d = c;

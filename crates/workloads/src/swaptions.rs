@@ -53,8 +53,12 @@ const FIX: f64 = 1_000_000.0;
 
 fn gen_inputs(p: &Params) -> (Vec<f64>, Vec<f64>) {
     let mut rng = Xorshift(p.seed);
-    let strike: Vec<f64> = (0..p.swaptions).map(|_| 0.02 + 0.06 * rng.unit_f64()).collect();
-    let vol: Vec<f64> = (0..p.swaptions).map(|_| 0.05 + 0.2 * rng.unit_f64()).collect();
+    let strike: Vec<f64> = (0..p.swaptions)
+        .map(|_| 0.02 + 0.06 * rng.unit_f64())
+        .collect();
+    let vol: Vec<f64> = (0..p.swaptions)
+        .map(|_| 0.05 + 0.2 * rng.unit_f64())
+        .collect();
     (strike, vol)
 }
 
@@ -96,150 +100,167 @@ pub fn build(p: &Params) -> Module {
     {
         let mut b = FunctionBuilder::new("main", vec![], None);
         b.call(alloc_results, vec![], None);
-        for_loop(&mut b, Value::const_i64(0), Value::const_i64(nsw), |b, sw| {
-            // Value-predictable flow: the scratch structure must be free.
-            let flag = b.load(Type::I64, Value::Global(g_flag));
-            let busy = b.icmp(CmpOp::Ne, flag, Value::const_i64(0));
-            if_then(b, busy, |b| {
-                // Never taken: control speculation removes this block.
-                b.print_i64(Value::const_i64(-99));
-            });
-            b.store(Type::I64, Value::const_i64(1), Value::Global(g_flag));
-
-            let kslot = b.gep(Value::Global(g_strike), sw, 8, 0);
-            let k = b.load(Type::F64, kslot);
-            let vslot = b.gep(Value::Global(g_vol), sw, 8, 0);
-            let v = b.load(Type::F64, vslot);
-
-            // Linked matrix: rows of simulated forward rates.
-            let mat = b.malloc(Value::const_i64(ntr * 8));
-            for_loop(b, Value::const_i64(0), Value::const_i64(ntr), |b, t| {
-                let row = b.malloc(Value::const_i64(nst * 8));
-                let slot = b.gep(mat, t, 8, 0);
-                b.store(Type::Ptr, row, slot);
-                // Path: rate[0] = k; rate[s] = rate[s-1] + v·shock.
-                let first = b.gep(row, Value::const_i64(0), 8, 0);
-                b.store(Type::F64, k, first);
-                for_loop(b, Value::const_i64(1), Value::const_i64(nst), |b, s| {
-                    // shock(sw, t, s) recomputed in IR arithmetic.
-                    let a1 = b.mul(Type::I64, sw, Value::const_i64(1_000_003));
-                    let a2 = b.mul(Type::I64, t, Value::const_i64(10_007));
-                    let x0 = b.bin(privateer_ir::BinOp::Xor, Type::I64, a1, a2);
-                    let x1 = b.bin(privateer_ir::BinOp::Xor, Type::I64, x0, s);
-                    let x2 = b.mul(
-                        Type::I64,
-                        x1,
-                        Value::const_i64(0x9e37_79b9_7f4a_7c15u64 as i64),
-                    );
-                    let hi = b.bin(privateer_ir::BinOp::LShr, Type::I64, x2, Value::const_i64(31));
-                    let x3 = b.bin(privateer_ir::BinOp::Xor, Type::I64, x2, hi);
-                    let lo = b.bin(
-                        privateer_ir::BinOp::And,
-                        Type::I64,
-                        x3,
-                        Value::const_i64(0xF_FFFF),
-                    );
-                    let lf = b.sitofp(lo);
-                    let unit = b.fdiv(lf, Value::const_f64(524_288.0));
-                    let sh = b.fsub(unit, Value::const_f64(1.0));
-                    let vs = b.fmul(v, sh);
-                    let prev = b.sub(Type::I64, s, Value::const_i64(1));
-                    let pslot = b.gep(row, prev, 8, 0);
-                    let pv = b.load(Type::F64, pslot);
-                    let nv = b.fadd(pv, vs);
-                    let slot = b.gep(row, s, 8, 0);
-                    b.store(Type::F64, nv, slot);
+        for_loop(
+            &mut b,
+            Value::const_i64(0),
+            Value::const_i64(nsw),
+            |b, sw| {
+                // Value-predictable flow: the scratch structure must be free.
+                let flag = b.load(Type::I64, Value::Global(g_flag));
+                let busy = b.icmp(CmpOp::Ne, flag, Value::const_i64(0));
+                if_then(b, busy, |b| {
+                    // Never taken: control speculation removes this block.
+                    b.print_i64(Value::const_i64(-99));
                 });
-            });
+                b.store(Type::I64, Value::const_i64(1), Value::Global(g_flag));
 
-            // Scratch vectors (more short-lived objects, as in the HJM
-            // worker).
-            let discount = b.malloc(Value::const_i64(nst * 8));
-            for_loop(b, Value::const_i64(0), Value::const_i64(nst), |b, s| {
-                let sf = b.sitofp(s);
-                let sc = b.fmul(sf, Value::const_f64(0.004)); // flat short rate
-                let neg = b.fsub(Value::const_f64(0.0), sc);
-                let d = b.intrinsic(privateer_ir::Intrinsic::Exp, vec![neg]).unwrap();
-                let slot = b.gep(discount, s, 8, 0);
-                b.store(Type::F64, d, slot);
-            });
-            let payoff_buf = b.malloc(Value::const_i64(ntr * 8));
+                let kslot = b.gep(Value::Global(g_strike), sw, 8, 0);
+                let k = b.load(Type::F64, kslot);
+                let vslot = b.gep(Value::Global(g_vol), sw, 8, 0);
+                let v = b.load(Type::F64, vslot);
 
-            // Payoff per trial: discounted positive excess over the strike
-            // at the final step.
-            for_loop(b, Value::const_i64(0), Value::const_i64(ntr), |b, t| {
-                let rslot = b.gep(mat, t, 8, 0);
-                let row = b.load(Type::Ptr, rslot);
-                let last = b.gep(row, Value::const_i64(nst - 1), 8, 0);
-                let rate = b.load(Type::F64, last);
-                let ex = b.fsub(rate, k);
-                let pos = b.fcmp(CmpOp::Gt, ex, Value::const_f64(0.0));
-                let clamped = b.select(Type::F64, pos, ex, Value::const_f64(0.0));
-                let dslot = b.gep(discount, Value::const_i64(nst - 1), 8, 0);
-                let d = b.load(Type::F64, dslot);
-                let pay = b.fmul(clamped, d);
+                // Linked matrix: rows of simulated forward rates.
+                let mat = b.malloc(Value::const_i64(ntr * 8));
+                for_loop(b, Value::const_i64(0), Value::const_i64(ntr), |b, t| {
+                    let row = b.malloc(Value::const_i64(nst * 8));
+                    let slot = b.gep(mat, t, 8, 0);
+                    b.store(Type::Ptr, row, slot);
+                    // Path: rate[0] = k; rate[s] = rate[s-1] + v·shock.
+                    let first = b.gep(row, Value::const_i64(0), 8, 0);
+                    b.store(Type::F64, k, first);
+                    for_loop(b, Value::const_i64(1), Value::const_i64(nst), |b, s| {
+                        // shock(sw, t, s) recomputed in IR arithmetic.
+                        let a1 = b.mul(Type::I64, sw, Value::const_i64(1_000_003));
+                        let a2 = b.mul(Type::I64, t, Value::const_i64(10_007));
+                        let x0 = b.bin(privateer_ir::BinOp::Xor, Type::I64, a1, a2);
+                        let x1 = b.bin(privateer_ir::BinOp::Xor, Type::I64, x0, s);
+                        let x2 = b.mul(
+                            Type::I64,
+                            x1,
+                            Value::const_i64(0x9e37_79b9_7f4a_7c15u64 as i64),
+                        );
+                        let hi = b.bin(
+                            privateer_ir::BinOp::LShr,
+                            Type::I64,
+                            x2,
+                            Value::const_i64(31),
+                        );
+                        let x3 = b.bin(privateer_ir::BinOp::Xor, Type::I64, x2, hi);
+                        let lo = b.bin(
+                            privateer_ir::BinOp::And,
+                            Type::I64,
+                            x3,
+                            Value::const_i64(0xF_FFFF),
+                        );
+                        let lf = b.sitofp(lo);
+                        let unit = b.fdiv(lf, Value::const_f64(524_288.0));
+                        let sh = b.fsub(unit, Value::const_f64(1.0));
+                        let vs = b.fmul(v, sh);
+                        let prev = b.sub(Type::I64, s, Value::const_i64(1));
+                        let pslot = b.gep(row, prev, 8, 0);
+                        let pv = b.load(Type::F64, pslot);
+                        let nv = b.fadd(pv, vs);
+                        let slot = b.gep(row, s, 8, 0);
+                        b.store(Type::F64, nv, slot);
+                    });
+                });
+
+                // Scratch vectors (more short-lived objects, as in the HJM
+                // worker).
+                let discount = b.malloc(Value::const_i64(nst * 8));
+                for_loop(b, Value::const_i64(0), Value::const_i64(nst), |b, s| {
+                    let sf = b.sitofp(s);
+                    let sc = b.fmul(sf, Value::const_f64(0.004)); // flat short rate
+                    let neg = b.fsub(Value::const_f64(0.0), sc);
+                    let d = b
+                        .intrinsic(privateer_ir::Intrinsic::Exp, vec![neg])
+                        .unwrap();
+                    let slot = b.gep(discount, s, 8, 0);
+                    b.store(Type::F64, d, slot);
+                });
+                let payoff_buf = b.malloc(Value::const_i64(ntr * 8));
+
+                // Payoff per trial: discounted positive excess over the strike
+                // at the final step.
+                for_loop(b, Value::const_i64(0), Value::const_i64(ntr), |b, t| {
+                    let rslot = b.gep(mat, t, 8, 0);
+                    let row = b.load(Type::Ptr, rslot);
+                    let last = b.gep(row, Value::const_i64(nst - 1), 8, 0);
+                    let rate = b.load(Type::F64, last);
+                    let ex = b.fsub(rate, k);
+                    let pos = b.fcmp(CmpOp::Gt, ex, Value::const_f64(0.0));
+                    let clamped = b.select(Type::F64, pos, ex, Value::const_f64(0.0));
+                    let dslot = b.gep(discount, Value::const_i64(nst - 1), 8, 0);
+                    let d = b.load(Type::F64, dslot);
+                    let pay = b.fmul(clamped, d);
+                    let ps = b.gep(payoff_buf, t, 8, 0);
+                    b.store(Type::F64, pay, ps);
+                });
+
+                // Mean payoff (sequential sum inside the iteration), stored as
+                // fixed-point through the results pointer.
+                let acc_cell = b.gep(payoff_buf, Value::const_i64(0), 8, 0);
+                let first = b.load(Type::F64, acc_cell);
+                let _ = first;
+                let sum0 = Value::const_f64(0.0);
+                // SSA summation loop.
+                let entry = b.current_block();
+                let header = b.new_block();
+                let body_bb = b.new_block();
+                let exit = b.new_block();
+                b.br(header);
+                b.switch_to(header);
+                let (t, t_phi) = b.phi(Type::I64);
+                let (sum, sum_phi) = b.phi(Type::F64);
+                b.add_phi_incoming(t_phi, entry, Value::const_i64(0));
+                b.add_phi_incoming(sum_phi, entry, sum0);
+                let c = b.icmp(CmpOp::Lt, t, Value::const_i64(ntr));
+                b.cond_br(c, body_bb, exit);
+                b.switch_to(body_bb);
                 let ps = b.gep(payoff_buf, t, 8, 0);
-                b.store(Type::F64, pay, ps);
-            });
+                let pv = b.load(Type::F64, ps);
+                let sum2 = b.fadd(sum, pv);
+                let t2 = b.add(Type::I64, t, Value::const_i64(1));
+                let latch = b.current_block();
+                b.add_phi_incoming(t_phi, latch, t2);
+                b.add_phi_incoming(sum_phi, latch, sum2);
+                b.br(header);
+                b.switch_to(exit);
+                let mean = b.fdiv(sum, Value::const_f64(ntr as f64));
+                let scaled = b.fmul(mean, Value::const_f64(FIX));
+                let fixp = b.fptosi(scaled, Type::I64);
+                let rp = b.load(Type::Ptr, Value::Global(g_results_ptr));
+                let rslot = b.gep(rp, sw, 8, 0);
+                b.store(Type::I64, fixp, rslot);
 
-            // Mean payoff (sequential sum inside the iteration), stored as
-            // fixed-point through the results pointer.
-            let acc_cell = b.gep(payoff_buf, Value::const_i64(0), 8, 0);
-            let first = b.load(Type::F64, acc_cell);
-            let _ = first;
-            let sum0 = Value::const_f64(0.0);
-            // SSA summation loop.
-            let entry = b.current_block();
-            let header = b.new_block();
-            let body_bb = b.new_block();
-            let exit = b.new_block();
-            b.br(header);
-            b.switch_to(header);
-            let (t, t_phi) = b.phi(Type::I64);
-            let (sum, sum_phi) = b.phi(Type::F64);
-            b.add_phi_incoming(t_phi, entry, Value::const_i64(0));
-            b.add_phi_incoming(sum_phi, entry, sum0);
-            let c = b.icmp(CmpOp::Lt, t, Value::const_i64(ntr));
-            b.cond_br(c, body_bb, exit);
-            b.switch_to(body_bb);
-            let ps = b.gep(payoff_buf, t, 8, 0);
-            let pv = b.load(Type::F64, ps);
-            let sum2 = b.fadd(sum, pv);
-            let t2 = b.add(Type::I64, t, Value::const_i64(1));
-            let latch = b.current_block();
-            b.add_phi_incoming(t_phi, latch, t2);
-            b.add_phi_incoming(sum_phi, latch, sum2);
-            b.br(header);
-            b.switch_to(exit);
-            let mean = b.fdiv(sum, Value::const_f64(ntr as f64));
-            let scaled = b.fmul(mean, Value::const_f64(FIX));
-            let fixp = b.fptosi(scaled, Type::I64);
-            let rp = b.load(Type::Ptr, Value::Global(g_results_ptr));
-            let rslot = b.gep(rp, sw, 8, 0);
-            b.store(Type::I64, fixp, rslot);
+                // Free the linked matrix and scratch.
+                for_loop(b, Value::const_i64(0), Value::const_i64(ntr), |b, t| {
+                    let rslot = b.gep(mat, t, 8, 0);
+                    let row = b.load(Type::Ptr, rslot);
+                    b.free(row);
+                });
+                b.free(mat);
+                b.free(discount);
+                b.free(payoff_buf);
 
-            // Free the linked matrix and scratch.
-            for_loop(b, Value::const_i64(0), Value::const_i64(ntr), |b, t| {
-                let rslot = b.gep(mat, t, 8, 0);
-                let row = b.load(Type::Ptr, rslot);
-                b.free(row);
-            });
-            b.free(mat);
-            b.free(discount);
-            b.free(payoff_buf);
-
-            // Release the scratch structure: the flag returns to 0 —
-            // upholding the value prediction.
-            b.store(Type::I64, Value::const_i64(0), Value::Global(g_flag));
-        });
+                // Release the scratch structure: the flag returns to 0 —
+                // upholding the value prediction.
+                b.store(Type::I64, Value::const_i64(0), Value::Global(g_flag));
+            },
+        );
 
         // Report all prices.
         let rp = b.load(Type::Ptr, Value::Global(g_results_ptr));
-        for_loop(&mut b, Value::const_i64(0), Value::const_i64(nsw), |b, sw| {
-            let slot = b.gep(rp, sw, 8, 0);
-            let v = b.load(Type::I64, slot);
-            b.print_i64(v);
-        });
+        for_loop(
+            &mut b,
+            Value::const_i64(0),
+            Value::const_i64(nsw),
+            |b, sw| {
+                let slot = b.gep(rp, sw, 8, 0);
+                let v = b.load(Type::I64, slot);
+                b.print_i64(v);
+            },
+        );
         b.ret(None);
         m.add_function(b.finish());
     }

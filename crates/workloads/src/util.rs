@@ -37,11 +37,7 @@ pub fn for_loop(
 
 /// Emit `if cond { then }` (no else). `then` must leave the builder at a
 /// block that falls through; control rejoins afterwards.
-pub fn if_then(
-    b: &mut FunctionBuilder,
-    cond: Value,
-    then: impl FnOnce(&mut FunctionBuilder),
-) {
+pub fn if_then(b: &mut FunctionBuilder, cond: Value, then: impl FnOnce(&mut FunctionBuilder)) {
     let then_bb = b.new_block();
     let join = b.new_block();
     b.cond_br(cond, then_bb, join);

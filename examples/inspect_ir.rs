@@ -14,7 +14,10 @@ fn main() {
     let module = dijkstra::build(&params);
 
     let enq = module.func_by_name("enqueue").unwrap();
-    println!("==== enqueue, before ====\n{}", print_function(&module, module.func(enq)));
+    println!(
+        "==== enqueue, before ====\n{}",
+        print_function(&module, module.func(enq))
+    );
 
     let result = privatize(&module, &PipelineConfig::default()).unwrap();
     let tm = &result.module;
@@ -28,7 +31,10 @@ fn main() {
     for line in text.lines().take(18) {
         println!("{line}");
     }
-    println!("  ... ({} more lines)", text.lines().count().saturating_sub(18));
+    println!(
+        "  ... ({} more lines)",
+        text.lines().count().saturating_sub(18)
+    );
 
     println!("\nglobals and their logical heaps:");
     for g in &tm.globals {

@@ -26,14 +26,25 @@ fn main() {
         inject_rate: 0.08, // force misspeculations
         inject_seed: 1234,
     };
-    let mut interp = Interp::new(&result.module, &image, NopHooks, MainRuntime::new(&image, cfg));
+    let mut interp = Interp::new(
+        &result.module,
+        &image,
+        NopHooks,
+        MainRuntime::new(&image, cfg),
+    );
     interp.run_main().unwrap();
-    assert_eq!(interp.rt.take_output(), expected, "output survives recovery");
+    assert_eq!(
+        interp.rt.take_output(),
+        expected,
+        "output survives recovery"
+    );
 
     println!("execution timeline (cf. the paper's Figure 5):");
     for event in &interp.rt.events {
         match event {
-            EngineEvent::Invoke { lo, hi } => println!("  invoke parallel region over iterations {lo}..{hi}"),
+            EngineEvent::Invoke { lo, hi } => {
+                println!("  invoke parallel region over iterations {lo}..{hi}")
+            }
             EngineEvent::CheckpointCommitted { period, base, end } => {
                 println!("    checkpoint {period} committed (iterations {base}..{end})")
             }
@@ -43,7 +54,9 @@ fn main() {
             EngineEvent::Recovery { from, through } => {
                 println!("    sequential recovery of iterations {from}..={through}")
             }
-            EngineEvent::ParallelResumed { at } => println!("    parallel execution resumed at {at}"),
+            EngineEvent::ParallelResumed { at } => {
+                println!("    parallel execution resumed at {at}")
+            }
             EngineEvent::InvokeDone => println!("  invocation complete"),
         }
     }

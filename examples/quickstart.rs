@@ -47,7 +47,12 @@ fn main() {
     b.add_phi_incoming(j_phi, ib, j2);
     b.br(ih);
     b.switch_to(iexit);
-    let idx = b.bin(privateer_ir::BinOp::SRem, Type::I64, i, Value::const_i64(64));
+    let idx = b.bin(
+        privateer_ir::BinOp::SRem,
+        Type::I64,
+        i,
+        Value::const_i64(64),
+    );
     let rslot = b.gep(Value::Global(table), idx, 8, 0);
     let r = b.load(Type::I64, rslot);
     b.print_i64(r);
@@ -80,10 +85,18 @@ fn main() {
         workers: 8,
         ..EngineConfig::default()
     };
-    let mut par = Interp::new(&result.module, &image, NopHooks, MainRuntime::new(&image, cfg));
+    let mut par = Interp::new(
+        &result.module,
+        &image,
+        NopHooks,
+        MainRuntime::new(&image, cfg),
+    );
     par.run_main().unwrap();
     let out = par.rt.take_output();
-    assert_eq!(out, expected, "parallel output must equal sequential output");
+    assert_eq!(
+        out, expected,
+        "parallel output must equal sequential output"
+    );
     let sim = par.stats.insts + par.rt.stats.sim.total;
     println!(
         "parallel output identical; simulated speedup at 8 workers: {:.2}x ({} checkpoints, {} misspeculations)",

@@ -1,10 +1,43 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerate every checked-in evaluation output under results/.
-set -e
+set -euo pipefail
+
+usage() {
+    cat <<'EOF'
+usage: scripts/regen_results.sh [--help]
+
+Regenerates results/{fig6,fig7,fig8,fig9,table1,table3,ablations}.txt by
+running the corresponding privateer-bench binaries in release mode.
+
+Run `cargo build --release -p privateer-bench` first (the script refuses
+to start if the release binaries are missing, rather than triggering a
+long implicit rebuild halfway through).
+EOF
+}
+
+if [[ "${1:-}" == "--help" || "${1:-}" == "-h" ]]; then
+    usage
+    exit 0
+elif [[ $# -gt 0 ]]; then
+    echo "error: unknown argument: $1" >&2
+    usage >&2
+    exit 2
+fi
+
 cd "$(dirname "$0")/.."
+
+bins=(fig6 fig7 fig8 fig9 table1 table3 ablations)
+for bin in "${bins[@]}"; do
+    if [[ ! -x "target/release/$bin" ]]; then
+        echo "error: target/release/$bin is missing." >&2
+        echo "Build it first: cargo build --release -p privateer-bench" >&2
+        exit 1
+    fi
+done
+
 mkdir -p results
-for bin in fig6 fig7 fig8 fig9 table1 table3 ablations; do
+for bin in "${bins[@]}"; do
     echo "== $bin"
-    cargo run --release -q -p privateer-bench --bin "$bin" > "results/$bin.txt"
+    "target/release/$bin" > "results/$bin.txt"
 done
 echo "done; see results/"

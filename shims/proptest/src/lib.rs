@@ -1,0 +1,787 @@
+#![warn(missing_docs)]
+//! # proptest (offline shim)
+//!
+//! A small, dependency-free, drop-in subset of the `proptest` crate's API,
+//! sufficient for this workspace's property-test suites. The build
+//! environment for this repository has no access to a crates.io registry,
+//! so the workspace `proptest` dependency resolves to this path crate
+//! instead (see the root `Cargo.toml`).
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_oneof!`];
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive` and
+//!   `boxed`; tuple, integer/float range, [`strategy::Just`] and
+//!   string-pattern strategies;
+//! * [`arbitrary::any`], [`collection::vec`], [`option::of`].
+//!
+//! Differences from real proptest: generation is deterministic per test
+//! (override with `PROPTEST_SEED`), failing cases are **not shrunk** —
+//! the failure message reports the case number and seed so a run can be
+//! reproduced exactly.
+
+/// Deterministic pseudo-random generation and per-test configuration.
+pub mod test_runner {
+    /// Run-time configuration for a [`crate::proptest!`] block.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to execute per test function.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Config { cases }
+        }
+    }
+
+    /// A failed property within a test case (produced by the
+    /// `prop_assert*` macros).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The splitmix64 generator driving all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with the given seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n` must be nonzero).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0, "empty range");
+            // Multiply-shift bounded sampling; bias is negligible for
+            // test-input purposes.
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform boolean.
+        pub fn gen_bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    /// The base seed for a named test: `PROPTEST_SEED` if set, else a
+    /// stable hash of the test path (deterministic across runs).
+    pub fn base_seed(name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                return v;
+            }
+        }
+        // FNV-1a.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of an associated type.
+    ///
+    /// Unlike real proptest there is no value-tree shrinking: a strategy
+    /// is simply a deterministic function of the test RNG.
+    pub trait Strategy: Clone {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+
+        /// Build a recursive strategy: `self` generates leaves and
+        /// `recurse` wraps an inner strategy into a deeper one, applied
+        /// `depth` times. The `_desired_size`/`_expected_branch` hints of
+        /// real proptest are accepted and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut cur = self.boxed();
+            for _ in 0..depth {
+                cur = recurse(cur).boxed();
+            }
+            cur
+        }
+    }
+
+    /// A type-erased strategy (the result of [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O + Clone,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (see
+    /// [`crate::prop_oneof!`]).
+    pub struct OneOf<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// A strategy choosing uniformly among `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    (lo + rng.below((hi - lo + 1) as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// String-pattern strategies: a `&str` acts as a miniature regex over
+    /// the subset `.`  `[a-z0-9_-]` (char classes with ranges), literal
+    /// characters and the quantifiers `{m,n}` `{n}` `*` `+` `?`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_pattern(self, rng)
+        }
+    }
+}
+
+/// `any::<T>()` — uniform generation over a whole primitive type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen_bool()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A collection length specification: an exact length or a range, as
+    /// in real proptest's `SizeRange`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange(r)
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange(*r.start()..r.end() + 1)
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` (an exact length or a
+    /// range) and whose elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into().0,
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Bias toward Some, matching real proptest's 3:1 default.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// Miniature regex-pattern string generation (backs `&str` strategies).
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        Dot,
+        Class(Vec<(char, char)>),
+        Lit(char),
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+        let mut out = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unterminated character class");
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        out.push((p, p));
+                    }
+                    break;
+                }
+                '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                    let lo = pending.take().expect("checked above");
+                    let hi = chars.next().expect("unterminated range");
+                    out.push((lo, hi));
+                }
+                c => {
+                    if let Some(p) = pending {
+                        out.push((p, p));
+                    }
+                    pending = Some(c);
+                }
+            }
+        }
+        assert!(!out.is_empty(), "empty character class");
+        out
+    }
+
+    fn parse_reps(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad repetition bound"),
+                        n.trim().parse().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn sample_dot(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII; occasionally a multi-byte scalar so
+        // consumers see non-ASCII input too. Never a newline ('.' in a
+        // regex does not match '\n').
+        const EXOTIC: &[char] = &['λ', 'ß', '中', '🦀', '\u{202e}', '\t'];
+        if rng.below(16) == 0 {
+            EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+        } else {
+            char::from(0x20 + rng.below(0x5f) as u8)
+        }
+    }
+
+    /// Generate one string matching `pattern` (see the module docs for
+    /// the supported subset).
+    ///
+    /// # Panics
+    ///
+    /// Panics on syntax outside the supported subset (unterminated
+    /// classes or malformed repetitions).
+    pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Dot,
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => Atom::Lit(chars.next().expect("dangling escape")),
+                c => Atom::Lit(c),
+            };
+            let reps = parse_reps(&mut chars);
+            atoms.push((atom, reps));
+        }
+        let mut out = String::new();
+        for (atom, (lo, hi)) in &atoms {
+            let n = *lo + rng.below(u64::from(hi - lo) + 1) as u32;
+            for _ in 0..n {
+                match atom {
+                    Atom::Dot => out.push(sample_dot(rng)),
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let (a, b) = ranges[rng.below(ranges.len() as u64) as usize];
+                        let span = b as u32 - a as u32 + 1;
+                        let c = char::from_u32(a as u32 + rng.below(u64::from(span)) as u32)
+                            .unwrap_or(a);
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The customary glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The crate itself, so `prop::collection::vec` etc. resolve after a
+    /// glob import of this prelude.
+    pub use crate as prop;
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` running `cases` random cases (the `#[test]`
+/// attribute is written by the caller and passes through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let seed0 = $crate::test_runner::base_seed(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::new(
+                        seed0 ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(case) + 1),
+                    );
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest case {}/{} failed (base seed {seed0:#x}): {e}",
+                            case + 1,
+                            config.cases,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config(<$crate::test_runner::Config as ::std::default::Default>::default())]
+            $($(#[$meta])* fn $name($($pat in $strat),+) $body)*
+        }
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body, failing the current
+/// case (without panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice among several strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_are_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let n = (-5i64..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_and_oneof_compose() {
+        let strat = prop::collection::vec(
+            prop_oneof![Just(1u8), 10u8..20, any::<u8>().prop_map(|b| b | 0x80)],
+            2..6,
+        );
+        let mut rng = crate::test_runner::TestRng::new(9);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn pattern_strings_match_shape() {
+        let mut rng = crate::test_runner::TestRng::new(11);
+        for _ in 0..200 {
+            let s = "[ -~]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            let t = "ab[0-9]{2}z?".generate(&mut rng);
+            assert!(t.starts_with("ab"));
+            let digits: String = t[2..4].to_string();
+            assert!(digits.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec(any::<u64>(), 0..10);
+        let a = strat.generate(&mut crate::test_runner::TestRng::new(42));
+        let b = strat.generate(&mut crate::test_runner::TestRng::new(42));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: bindings, mut patterns, assertions.
+        #[test]
+        fn macro_end_to_end(mut xs in prop::collection::vec(0u32..100, 0..20), flip in any::<bool>()) {
+            xs.sort_unstable();
+            for w in xs.windows(2) {
+                prop_assert!(w[0] <= w[1], "unsorted after sort: {:?}", w);
+            }
+            if flip {
+                prop_assert_eq!(xs.len(), xs.len());
+            } else {
+                prop_assert_ne!(xs.len() + 1, xs.len());
+            }
+        }
+    }
+}

@@ -113,7 +113,11 @@ fn every_workload_is_privatized_and_parallelized_correctly() {
             "[{}] reduction count mismatch (report: {report:?})",
             case.name
         );
-        assert_eq!(report.heap_counts[4], 0, "[{}] unrestricted objects", case.name);
+        assert_eq!(
+            report.heap_counts[4], 0,
+            "[{}] unrestricted objects",
+            case.name
+        );
 
         let tm = &result.module;
         let image = load_module(tm);
@@ -167,7 +171,12 @@ fn every_workload_survives_injected_misspeculation() {
             inject_rate: 0.3,
             inject_seed: 99,
         };
-        let mut interp = Interp::new(&result.module, &image, NopHooks, MainRuntime::new(&image, cfg));
+        let mut interp = Interp::new(
+            &result.module,
+            &image,
+            NopHooks,
+            MainRuntime::new(&image, cfg),
+        );
         interp.run_main().unwrap();
         assert_eq!(
             String::from_utf8_lossy(&interp.rt.take_output()),
@@ -249,23 +258,63 @@ fn classification_is_stable_across_inputs() {
         ),
         (
             "blackscholes",
-            blackscholes::build(&blackscholes::Params { options: 24, runs: 6, seed: 100 }),
-            blackscholes::build(&blackscholes::Params { options: 24, runs: 6, seed: 200 }),
+            blackscholes::build(&blackscholes::Params {
+                options: 24,
+                runs: 6,
+                seed: 100,
+            }),
+            blackscholes::build(&blackscholes::Params {
+                options: 24,
+                runs: 6,
+                seed: 200,
+            }),
         ),
         (
             "swaptions",
-            swaptions::build(&swaptions::Params { swaptions: 12, trials: 6, steps: 8, seed: 100 }),
-            swaptions::build(&swaptions::Params { swaptions: 12, trials: 6, steps: 8, seed: 200 }),
+            swaptions::build(&swaptions::Params {
+                swaptions: 12,
+                trials: 6,
+                steps: 8,
+                seed: 100,
+            }),
+            swaptions::build(&swaptions::Params {
+                swaptions: 12,
+                trials: 6,
+                steps: 8,
+                seed: 200,
+            }),
         ),
         (
             "alvinn",
-            alvinn::build(&alvinn::Params { inputs: 8, hidden: 6, outputs: 3, examples: 20, epochs: 4, seed: 100 }),
-            alvinn::build(&alvinn::Params { inputs: 8, hidden: 6, outputs: 3, examples: 20, epochs: 4, seed: 200 }),
+            alvinn::build(&alvinn::Params {
+                inputs: 8,
+                hidden: 6,
+                outputs: 3,
+                examples: 20,
+                epochs: 4,
+                seed: 100,
+            }),
+            alvinn::build(&alvinn::Params {
+                inputs: 8,
+                hidden: 6,
+                outputs: 3,
+                examples: 20,
+                epochs: 4,
+                seed: 200,
+            }),
         ),
         (
             "enc-md5",
-            md5::build(&md5::Params { messages: 10, msg_len: 90, seed: 100 }),
-            md5::build(&md5::Params { messages: 10, msg_len: 90, seed: 200 }),
+            md5::build(&md5::Params {
+                messages: 10,
+                msg_len: 90,
+                seed: 100,
+            }),
+            md5::build(&md5::Params {
+                messages: 10,
+                msg_len: 90,
+                seed: 200,
+            }),
         ),
     ];
     for (name, a, b) in pairs {

@@ -13,8 +13,8 @@ fn workloads_round_trip_through_text() {
     for wl in workloads() {
         let module = wl.build(Scale::Train);
         let text = printer::print_module(&module);
-        let reparsed = parser::parse(&text)
-            .unwrap_or_else(|e| panic!("[{}] reparse failed: {e}", wl.name));
+        let reparsed =
+            parser::parse(&text).unwrap_or_else(|e| panic!("[{}] reparse failed: {e}", wl.name));
         assert_eq!(
             printer::print_module(&reparsed),
             text,
@@ -26,7 +26,13 @@ fn workloads_round_trip_through_text() {
         // The reparsed module goes through the whole pipeline and runs.
         let result = privatize(&reparsed, &PipelineConfig::default())
             .unwrap_or_else(|e| panic!("[{}] pipeline on reparsed module: {e}", wl.name));
-        assert_eq!(result.reports.len(), 1, "[{}] {:?}", wl.name, result.rejected);
+        assert_eq!(
+            result.reports.len(),
+            1,
+            "[{}] {:?}",
+            wl.name,
+            result.rejected
+        );
         let image = load_module(&result.module);
         let cfg = EngineConfig {
             workers: 3,
@@ -34,7 +40,12 @@ fn workloads_round_trip_through_text() {
             inject_rate: 0.0,
             inject_seed: 0,
         };
-        let mut interp = Interp::new(&result.module, &image, NopHooks, MainRuntime::new(&image, cfg));
+        let mut interp = Interp::new(
+            &result.module,
+            &image,
+            NopHooks,
+            MainRuntime::new(&image, cfg),
+        );
         interp.run_main().unwrap();
         assert_eq!(
             interp.rt.take_output(),
