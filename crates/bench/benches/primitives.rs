@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use privateer_ir::Heap;
 use privateer_profile::IntervalMap;
-use privateer_runtime::checkpoint::{collect_contribution, CheckpointMerge};
+use privateer_runtime::checkpoint::{
+    collect_contribution, CheckpointMerge, DeltaTracker, ReferenceCheckpointMerge,
+};
 use privateer_runtime::shadow::Access;
 use privateer_runtime::worker::WorkerRuntime;
 use privateer_vm::{AddressSpace, RegionAllocator, RuntimeIface};
@@ -108,6 +110,67 @@ fn bench_checkpoint_merge(c: &mut Criterion) {
     });
 }
 
+fn bench_multi_period_checkpoint(c: &mut Criterion) {
+    // The whole checkpoint path over a growing-footprint span: 8 periods,
+    // each dirtying 16 *fresh* pages (256 bytes written per page), so the
+    // cumulative footprint reaches 128 pages. The fast path — delta
+    // contributions merged page-granularly — reships only the 16 pages
+    // dirtied per period; the reference path reships the whole footprint
+    // every period and merges through per-address hash containers, going
+    // quadratic in span length.
+    const PERIODS: u64 = 8;
+    const PAGES_PER_PERIOD: u64 = 16;
+
+    fn dirty_period(rt: &mut WorkerRuntime, mem: &mut AddressSpace, p: u64) {
+        rt.begin_iteration(p as i64, 0).unwrap();
+        for q in 0..PAGES_PER_PERIOD {
+            let a = Heap::Private.base() + 0x1000 + (p * PAGES_PER_PERIOD + q) * 4096;
+            rt.private_write(a, 256, mem).unwrap();
+            mem.write_bytes(a, &[0xCD; 256]);
+        }
+        rt.end_iteration().unwrap();
+    }
+
+    let mut g = c.benchmark_group("multi_period_checkpoint_8x16_pages");
+    g.bench_function("delta_dense", |b| {
+        b.iter(|| {
+            let mut rt = WorkerRuntime::new(0, 0.0, 0);
+            let mut mem = AddressSpace::new();
+            let mut tracker = DeltaTracker::new();
+            let mut committed = AddressSpace::new();
+            let mut shipped = 0usize;
+            for p in 0..PERIODS {
+                dirty_period(&mut rt, &mut mem, p);
+                let contrib = tracker.collect(0, p, &mut mem, &[], vec![]);
+                shipped += contrib.shadow_pages.len() + contrib.priv_pages.len();
+                let mut merge = CheckpointMerge::new(0);
+                merge.add(contrib, &committed).unwrap();
+                merge.commit(&mut committed);
+            }
+            black_box(shipped);
+        });
+    });
+    g.bench_function("cumulative_reference", |b| {
+        b.iter(|| {
+            let mut rt = WorkerRuntime::new(0, 0.0, 0);
+            let mut mem = AddressSpace::new();
+            let mut committed = AddressSpace::new();
+            let mut shipped = 0usize;
+            for p in 0..PERIODS {
+                dirty_period(&mut rt, &mut mem, p);
+                let contrib = collect_contribution(0, p, &mem, &[], vec![]);
+                WorkerRuntime::normalize_shadow(&mut mem);
+                shipped += contrib.shadow_pages.len() + contrib.priv_pages.len();
+                let mut merge = ReferenceCheckpointMerge::new(0);
+                merge.add(contrib, &committed).unwrap();
+                merge.commit(&mut committed);
+            }
+            black_box(shipped);
+        });
+    });
+    g.finish();
+}
+
 fn bench_interval_map(c: &mut Criterion) {
     // The pointer-to-object profiler's core structure.
     c.bench_function("interval_map_insert_query_1k", |b| {
@@ -146,6 +209,7 @@ criterion_group!(
     bench_private_write_validation,
     bench_cow_fork,
     bench_checkpoint_merge,
+    bench_multi_period_checkpoint,
     bench_interval_map,
     bench_allocator
 );

@@ -202,6 +202,7 @@ pub fn run_privateer(module: &Module, workers: usize, inject_rate: f64) -> PrivR
         checkpoint_period: 16,
         inject_rate,
         inject_seed: 0xf19,
+        inject_merge_fault: None,
     };
     let mut interp = Interp::new(
         &result.module,

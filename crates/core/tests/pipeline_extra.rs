@@ -80,6 +80,7 @@ fn two_compatible_hot_loops_both_selected() {
             checkpoint_period: 8,
             inject_rate: 0.0,
             inject_seed: 0,
+            inject_merge_fault: None,
         };
         let mut interp = Interp::new(
             &result.module,
@@ -163,6 +164,7 @@ fn min_max_reductions_merge_correctly() {
             checkpoint_period: 7,
             inject_rate: 0.0,
             inject_seed: 0,
+            inject_merge_fault: None,
         };
         let mut interp = Interp::new(&m, &image, NopHooks, MainRuntime::new(&image, cfg));
         interp.run_main().unwrap();
@@ -332,6 +334,7 @@ fn automatic_min_max_reduction_pipeline() {
             checkpoint_period: 9,
             inject_rate: 0.0,
             inject_seed: 0,
+            inject_merge_fault: None,
         };
         let mut interp = Interp::new(
             &result.module,

@@ -7,12 +7,29 @@
 //! committed metadata using the same Table 2 rules as the fast phase,
 //! which is exactly the paper's two-phase design: conflicts that phase 1
 //! cannot see (they span workers) surface here.
+//!
+//! Two properties keep this path linear rather than quadratic:
+//!
+//! * **Delta contributions** ([`DeltaTracker`]): a worker ships only the
+//!   pages whose `Arc` changed since its previous contribution. This is
+//!   sound because [`crate::worker::WorkerRuntime::normalize_shadow`]
+//!   leaves an untouched page's shadow with no timestamps or read-live-in
+//!   bytes, so the merge ([`CheckpointMerge::add`]) would dismiss every
+//!   one of its words anyway.
+//! * **Page-granular merge state** ([`CheckpointMerge`]): the latest
+//!   write per byte and the read-live-in set live in dense per-page
+//!   buffers instead of per-address hash containers, and commit walks
+//!   page runs instead of reassembling byte runs.
+//!
+//! [`ReferenceCheckpointMerge`] retains the original per-address
+//! (`HashMap`/`HashSet`) merge; the proptest suite enforces observational
+//! equivalence between the two, and the criterion benches measure the gap.
 
 use crate::shadow;
 use privateer_ir::inst::SHADOW_BIT;
 use privateer_ir::Heap;
 use privateer_vm::{AddressSpace, MisspecKind, Page, Trap, PAGE_SIZE};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// One worker's speculative state for one checkpoint period.
@@ -32,7 +49,23 @@ pub struct Contribution {
     pub io: Vec<(i64, Vec<u8>)>,
 }
 
-/// Collect a worker's contribution from its address space.
+fn redux_images(mem: &AddressSpace, redux: &[(privateer_ir::ReduxOp, u64, u64)]) -> Vec<Vec<u8>> {
+    redux
+        .iter()
+        .map(|&(_, addr, size)| {
+            let mut buf = vec![0u8; size as usize];
+            mem.read_bytes(addr, &mut buf);
+            buf
+        })
+        .collect()
+}
+
+/// Collect a worker's *cumulative* contribution from its address space:
+/// every materialized private and shadow page, regardless of when it was
+/// last dirtied.
+///
+/// This is the reference collector; the engine uses [`DeltaTracker`],
+/// which ships only pages dirtied since the previous contribution.
 pub fn collect_contribution(
     worker: usize,
     period: u64,
@@ -44,31 +77,144 @@ pub fn collect_contribution(
     let priv_hi = priv_lo + crate::heaps::HEAP_SPAN;
     let shadow_lo = priv_lo | SHADOW_BIT;
     let shadow_hi = priv_hi | SHADOW_BIT;
-    let redux_images = redux
-        .iter()
-        .map(|&(_, addr, size)| {
-            let mut buf = vec![0u8; size as usize];
-            mem.read_bytes(addr, &mut buf);
-            buf
-        })
-        .collect();
     Contribution {
         worker,
         period,
         shadow_pages: mem.pages_in_range(shadow_lo, shadow_hi),
         priv_pages: mem.pages_in_range(priv_lo, priv_hi),
-        redux_images,
+        redux_images: redux_images(mem, redux),
         io,
     }
 }
 
-/// Incremental checkpoint merge state for one period.
+/// Per-worker delta state: remembers the page map as of the previous
+/// contribution so the next one ships only pages that changed since.
+///
+/// Detection is `Arc::ptr_eq` against a snapshot of cheap `Arc` clones
+/// taken *after* shadow normalization, so it costs O(#pages) per period
+/// and never touches page contents. Soundness: a shadow page untouched
+/// since normalization holds only live-in/old-write bytes, which the
+/// phase-2 merge skips wholesale, and the merge reads a private page's
+/// bytes only at addresses whose shadow byte carries a current-period
+/// timestamp — which only shipped (changed) shadow pages can contain.
+#[derive(Debug, Default)]
+pub struct DeltaTracker {
+    shadow_snap: HashMap<u64, Arc<Page>>,
+}
+
+impl DeltaTracker {
+    /// Fresh tracker whose first contribution ships every materialized
+    /// page (there is no previous contribution to delta against).
+    pub fn new() -> DeltaTracker {
+        DeltaTracker::default()
+    }
+
+    /// Tracker seeded from a worker's address space at fork time.
+    ///
+    /// Committed shadow pages carry only live-in/old-write marks (commit
+    /// and normalization never leave anything else behind), so a page
+    /// still sharing its fork-time `Arc` is skippable by the same
+    /// argument as an unchanged post-normalize page — the first
+    /// contribution of a span then ships only pages dirtied *in* the
+    /// span, not the whole committed footprint inherited from earlier
+    /// spans.
+    pub fn seeded(mem: &AddressSpace) -> DeltaTracker {
+        let shadow_lo = Heap::Private.base() | SHADOW_BIT;
+        let shadow_hi = shadow_lo + crate::heaps::HEAP_SPAN;
+        DeltaTracker {
+            shadow_snap: mem
+                .pages_in_range(shadow_lo, shadow_hi)
+                .into_iter()
+                .collect(),
+        }
+    }
+
+    /// Collect this period's delta contribution from `mem`, then
+    /// normalize the worker's shadow metadata
+    /// ([`crate::worker::WorkerRuntime::normalize_shadow`]) and snapshot
+    /// the normalized page map for the next period's delta.
+    pub fn collect(
+        &mut self,
+        worker: usize,
+        period: u64,
+        mem: &mut AddressSpace,
+        redux: &[(privateer_ir::ReduxOp, u64, u64)],
+        io: Vec<(i64, Vec<u8>)>,
+    ) -> Contribution {
+        let priv_lo = Heap::Private.base();
+        let shadow_lo = priv_lo | SHADOW_BIT;
+        let shadow_hi = shadow_lo + crate::heaps::HEAP_SPAN;
+
+        // Shadow pages whose Arc changed since the post-normalize snapshot
+        // of the previous period. Everything else is guaranteed free of
+        // timestamps and read-live-in bytes.
+        let shadow_pages: Vec<(u64, Arc<Page>)> = mem
+            .pages_in_range(shadow_lo, shadow_hi)
+            .into_iter()
+            .filter(|(base, page)| {
+                !self
+                    .shadow_snap
+                    .get(base)
+                    .is_some_and(|old| Arc::ptr_eq(old, page))
+            })
+            .collect();
+        // The merge reads private values only for bytes timestamped in a
+        // shipped shadow page, so exactly the paired private pages (when
+        // materialized) need to travel.
+        let priv_pages: Vec<(u64, Arc<Page>)> = shadow_pages
+            .iter()
+            .filter_map(|&(sbase, _)| {
+                let pbase = sbase & !SHADOW_BIT;
+                mem.page_arc(pbase).map(|p| (pbase, p))
+            })
+            .collect();
+        let contrib = Contribution {
+            worker,
+            period,
+            shadow_pages,
+            priv_pages,
+            redux_images: redux_images(mem, redux),
+            io,
+        };
+        crate::worker::WorkerRuntime::normalize_shadow(mem);
+        self.shadow_snap = mem
+            .pages_in_range(shadow_lo, shadow_hi)
+            .into_iter()
+            .collect();
+        contrib
+    }
+}
+
+const PG: usize = PAGE_SIZE as usize;
+
+/// Dense merge state for one private page: per-byte metadata (`0` =
+/// untouched this period, [`shadow::READ_LIVE_IN`], or a timestamp) and
+/// the value of the latest write.
+#[derive(Debug)]
+struct PageState {
+    meta: [u8; PG],
+    val: [u8; PG],
+}
+
+impl PageState {
+    fn new_boxed() -> Box<PageState> {
+        Box::new(PageState {
+            meta: [0u8; PG],
+            val: [0u8; PG],
+        })
+    }
+}
+
+/// Incremental checkpoint merge state for one period, page-granular: the
+/// latest-write and read-live-in metadata live in dense per-page buffers
+/// keyed by page base, so validation is array indexing rather than
+/// per-address hashing and commit writes page runs.
 #[derive(Debug, Default)]
 pub struct CheckpointMerge {
-    /// Byte address → (timestamp, value): the latest write this period.
-    written: HashMap<u64, (u8, u8)>,
-    /// Bytes some worker read as live-in this period.
-    read_live_in: HashSet<u64>,
+    /// Page base → dense per-byte merge state.
+    pages: BTreeMap<u64, Box<PageState>>,
+    /// Number of distinct bytes written this period.
+    written: usize,
     /// Deferred output gathered from all workers.
     io: Vec<(i64, Vec<u8>)>,
     /// Reduction images per object per worker (worker-cumulative).
@@ -103,6 +249,188 @@ impl CheckpointMerge {
             // live-in/old-write metadata, so whole 8-byte words are
             // dismissed with a single compare (shadow::word); only words
             // containing read-live-in or timestamp bytes walk per-byte.
+            let mut words = spage.chunks_exact(8).enumerate();
+            // The dense page state materializes lazily, on the first word
+            // that actually carries touched bytes; pages whose shadow is
+            // entirely live-in/old-write never allocate merge state.
+            let Some((first_wi, first_group)) = words.by_ref().find(|(_, group)| {
+                let w = u64::from_le_bytes((*group).try_into().unwrap());
+                !shadow::word::all_le_old_write(w)
+            }) else {
+                continue;
+            };
+            let state = self.pages.entry(pbase).or_insert_with(PageState::new_boxed);
+            merge_word(
+                state,
+                &mut self.written,
+                first_wi,
+                first_group,
+                pbase,
+                &priv_lookup,
+                committed,
+            )?;
+            for (wi, group) in words {
+                let w = u64::from_le_bytes(group.try_into().unwrap());
+                if shadow::word::all_le_old_write(w) {
+                    continue;
+                }
+                merge_word(
+                    state,
+                    &mut self.written,
+                    wi,
+                    group,
+                    pbase,
+                    &priv_lookup,
+                    committed,
+                )?;
+            }
+        }
+        for (i, img) in contrib.redux_images.into_iter().enumerate() {
+            self.redux_images[i].push(img);
+        }
+        self.io.extend(contrib.io);
+        Ok(())
+    }
+
+    /// Number of private bytes written this period.
+    pub fn written_bytes(&self) -> usize {
+        self.written
+    }
+
+    /// Number of pages carrying merge state this period.
+    pub fn dirty_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Commit the merged state: apply the latest write per byte onto
+    /// `mem`, mark those bytes old-write in the committed shadow, and
+    /// return the deferred output in iteration order.
+    pub fn commit(self, mem: &mut AddressSpace) -> Vec<(i64, Vec<u8>)> {
+        // Pages are already in address order; within each, write runs of
+        // consecutively written bytes straight out of the dense buffers.
+        for (pbase, state) in self.pages {
+            let mut i = 0usize;
+            while i < PG {
+                if state.meta[i] < shadow::TS_BASE {
+                    i += 1;
+                    continue;
+                }
+                let start = i;
+                while i < PG && state.meta[i] >= shadow::TS_BASE {
+                    i += 1;
+                }
+                let addr = pbase + start as u64;
+                mem.write_bytes(addr, &state.val[start..i]);
+                mem.fill(addr | SHADOW_BIT, (i - start) as u64, shadow::OLD_WRITE);
+            }
+        }
+        let mut io = self.io;
+        io.sort_by_key(|a| a.0);
+        io
+    }
+}
+
+/// Merge one 8-byte shadow word known to contain at least one touched
+/// byte (the per-byte path of [`CheckpointMerge::add`]).
+fn merge_word(
+    state: &mut PageState,
+    written: &mut usize,
+    wi: usize,
+    group: &[u8],
+    pbase: u64,
+    priv_lookup: &HashMap<u64, &Arc<Page>>,
+    committed: &AddressSpace,
+) -> Result<(), Trap> {
+    for (bi, &meta) in group.iter().enumerate() {
+        if meta <= shadow::OLD_WRITE {
+            continue;
+        }
+        let off = wi * 8 + bi;
+        let baddr = pbase + off as u64;
+        if meta == shadow::READ_LIVE_IN {
+            // Stale read: an earlier *period* wrote this byte; the
+            // worker read its pre-invocation fork instead.
+            if committed.read_u8(baddr | SHADOW_BIT) == shadow::OLD_WRITE {
+                return Err(privacy(
+                    baddr,
+                    "read of a value committed by an earlier iteration (stale live-in)",
+                ));
+            }
+            if state.meta[off] >= shadow::TS_BASE {
+                return Err(privacy(
+                    baddr,
+                    "cross-worker read/write conflict on a live-in byte (conservative)",
+                ));
+            }
+            state.meta[off] = shadow::READ_LIVE_IN;
+        } else {
+            // A timestamped write.
+            if state.meta[off] == shadow::READ_LIVE_IN {
+                return Err(privacy(
+                    baddr,
+                    "cross-worker read/write conflict on a live-in byte (conservative)",
+                ));
+            }
+            let prev = state.meta[off];
+            if prev >= shadow::TS_BASE && prev >= meta {
+                continue;
+            }
+            if prev < shadow::TS_BASE {
+                *written += 1;
+            }
+            state.meta[off] = meta;
+            state.val[off] = priv_lookup
+                .get(&(baddr & !(PAGE_SIZE - 1)))
+                .map(|p| p[(baddr & (PAGE_SIZE - 1)) as usize])
+                .unwrap_or(0);
+        }
+    }
+    Ok(())
+}
+
+/// The retained per-address reference merge (the pre-dense hot path).
+///
+/// Kept public so the proptest equivalence suite and the
+/// `privateer-bench` comparison benches can pit [`CheckpointMerge`]
+/// against it; both must produce byte-identical committed memory and
+/// shadow marks, identically ordered I/O, and identical traps for the
+/// same contributions in the same order.
+#[derive(Debug, Default)]
+pub struct ReferenceCheckpointMerge {
+    /// Byte address → (timestamp, value): the latest write this period.
+    written: HashMap<u64, (u8, u8)>,
+    /// Bytes some worker read as live-in this period.
+    read_live_in: HashSet<u64>,
+    /// Deferred output gathered from all workers.
+    io: Vec<(i64, Vec<u8>)>,
+    /// Reduction images per object per worker (worker-cumulative).
+    pub redux_images: Vec<Vec<Vec<u8>>>,
+}
+
+impl ReferenceCheckpointMerge {
+    /// Empty merge state expecting `redux_objects` registered reductions.
+    pub fn new(redux_objects: usize) -> ReferenceCheckpointMerge {
+        ReferenceCheckpointMerge {
+            redux_images: vec![Vec::new(); redux_objects],
+            ..ReferenceCheckpointMerge::default()
+        }
+    }
+
+    /// Merge one worker's contribution, validating privacy against the
+    /// committed metadata in `committed` (phase 2).
+    ///
+    /// # Errors
+    ///
+    /// Traps with a privacy misspeculation on a cross-worker
+    /// read-of-earlier-write or the conservative read/write conflict.
+    pub fn add(&mut self, contrib: Contribution, committed: &AddressSpace) -> Result<(), Trap> {
+        let priv_lookup: HashMap<u64, &Arc<Page>> = contrib
+            .priv_pages
+            .iter()
+            .map(|(base, p)| (*base, p))
+            .collect();
+        for (sbase, spage) in &contrib.shadow_pages {
+            let pbase = *sbase & !SHADOW_BIT;
             for (wi, group) in spage.chunks_exact(8).enumerate() {
                 let w = u64::from_le_bytes(group.try_into().unwrap());
                 if shadow::word::all_le_old_write(w) {
@@ -134,8 +462,6 @@ impl CheckpointMerge {
             }
             let baddr = pbase + (wi * 8 + bi) as u64;
             if meta == shadow::READ_LIVE_IN {
-                // Stale read: an earlier *period* wrote this byte; the
-                // worker read its pre-invocation fork instead.
                 if committed.read_u8(baddr | SHADOW_BIT) == shadow::OLD_WRITE {
                     return Err(privacy(
                         baddr,
@@ -150,7 +476,6 @@ impl CheckpointMerge {
                 }
                 self.read_live_in.insert(baddr);
             } else {
-                // A timestamped write.
                 if self.read_live_in.contains(&baddr) {
                     return Err(privacy(
                         baddr,
@@ -253,6 +578,7 @@ mod tests {
             .add(contrib_of(1, 0, &m1, &mut r1), &committed)
             .unwrap();
         assert_eq!(merge.written_bytes(), 1);
+        assert_eq!(merge.dirty_pages(), 1);
         merge.commit(&mut committed);
         // Iteration 1 is sequentially later: its value wins.
         assert_eq!(committed.read_u8(a), 20);
@@ -391,5 +717,95 @@ mod tests {
             out.extend(bytes);
         }
         assert_eq!(out, b"abc");
+    }
+
+    #[test]
+    fn delta_tracker_ships_only_dirty_pages() {
+        let a = Heap::Private.base() + 0x2000;
+        let b = a + 16 * PAGE_SIZE;
+        let (mut rt, mut mem) = worker_mem();
+        let mut delta = DeltaTracker::new();
+
+        // Period 0: dirty the pages of both `a` and `b`.
+        rt.begin_iteration(0, 0).unwrap();
+        rt.private_write(a, 8, &mut mem).unwrap();
+        mem.write_u64(a, 1);
+        rt.private_write(b, 8, &mut mem).unwrap();
+        mem.write_u64(b, 2);
+        rt.end_iteration().unwrap();
+        let c0 = delta.collect(0, 0, &mut mem, &[], vec![]);
+        assert_eq!(c0.shadow_pages.len(), 2);
+        assert_eq!(c0.priv_pages.len(), 2);
+
+        // Period 1: touch only `a`'s page again.
+        rt.begin_iteration(1, 0).unwrap();
+        rt.private_write(a, 8, &mut mem).unwrap();
+        mem.write_u64(a, 3);
+        rt.end_iteration().unwrap();
+        let c1 = delta.collect(0, 1, &mut mem, &[], vec![]);
+        assert_eq!(c1.shadow_pages.len(), 1, "page of `b` must not re-ship");
+        assert_eq!(c1.shadow_pages[0].0 & !SHADOW_BIT, a & !(PAGE_SIZE - 1));
+        assert_eq!(c1.priv_pages.len(), 1);
+
+        // Period 2: touch nothing — the delta is empty.
+        let c2 = delta.collect(0, 2, &mut mem, &[], vec![]);
+        assert!(c2.shadow_pages.is_empty());
+        assert!(c2.priv_pages.is_empty());
+    }
+
+    #[test]
+    fn delta_contribution_merges_like_cumulative() {
+        // Two periods over the same worker: the delta contribution of
+        // period 1 must merge to the identical committed state as the
+        // cumulative one (stale pages contribute nothing).
+        let a = Heap::Private.base() + 0x5000;
+        let far = a + 3 * PAGE_SIZE;
+        let run = |use_delta: bool| -> (AddressSpace, usize) {
+            let (mut rt, mut mem) = worker_mem();
+            let mut delta = DeltaTracker::new();
+            let mut committed = AddressSpace::new();
+            // Period 0.
+            rt.begin_iteration(0, 0).unwrap();
+            rt.private_write(far, 8, &mut mem).unwrap();
+            mem.write_u64(far, 7);
+            rt.end_iteration().unwrap();
+            let c0 = if use_delta {
+                delta.collect(0, 0, &mut mem, &[], vec![])
+            } else {
+                let c = collect_contribution(0, 0, &mem, &[], vec![]);
+                WorkerRuntime::normalize_shadow(&mut mem);
+                c
+            };
+            let mut m0 = CheckpointMerge::new(0);
+            m0.add(c0, &committed).unwrap();
+            m0.commit(&mut committed);
+            // Period 1 touches a different page.
+            rt.begin_iteration(1, 0).unwrap();
+            rt.private_write(a, 8, &mut mem).unwrap();
+            mem.write_u64(a, 9);
+            rt.end_iteration().unwrap();
+            let c1 = if use_delta {
+                delta.collect(0, 1, &mut mem, &[], vec![])
+            } else {
+                let c = collect_contribution(0, 1, &mem, &[], vec![]);
+                WorkerRuntime::normalize_shadow(&mut mem);
+                c
+            };
+            let shipped = c1.shadow_pages.len() + c1.priv_pages.len();
+            let mut m1 = CheckpointMerge::new(0);
+            m1.add(c1, &committed).unwrap();
+            m1.commit(&mut committed);
+            (committed, shipped)
+        };
+        let (with_delta, delta_pages) = run(true);
+        let (cumulative, full_pages) = run(false);
+        let lo = Heap::Private.base();
+        assert!(with_delta.range_eq(&cumulative, lo, lo + crate::heaps::HEAP_SPAN));
+        let slo = lo | SHADOW_BIT;
+        assert!(with_delta.range_eq(&cumulative, slo, slo + crate::heaps::HEAP_SPAN));
+        assert!(
+            delta_pages < full_pages,
+            "delta ({delta_pages} pages) must ship less than cumulative ({full_pages})"
+        );
     }
 }

@@ -11,7 +11,7 @@
 //! recovery from the last valid checkpoint, and resumes parallel
 //! execution.
 
-use crate::checkpoint::{collect_contribution, CheckpointMerge, Contribution};
+use crate::checkpoint::{CheckpointMerge, Contribution, DeltaTracker};
 use crate::heaps::SharedHeaps;
 use crate::model::{self, SimCost};
 use crate::shadow::MAX_PERIOD;
@@ -37,6 +37,11 @@ pub struct EngineConfig {
     pub inject_rate: f64,
     /// Seed for deterministic injection.
     pub inject_seed: u64,
+    /// Fault-injection hook for the engine tests: fail the checkpoint
+    /// merge of the given period with an internal (non-misspeculation)
+    /// trap, exercising the bail-out path of the collection loop.
+    #[doc(hidden)]
+    pub inject_merge_fault: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +51,7 @@ impl Default for EngineConfig {
             checkpoint_period: 64,
             inject_rate: 0.0,
             inject_seed: 0x5eed,
+            inject_merge_fault: None,
         }
     }
 }
@@ -129,6 +135,12 @@ pub struct EngineStats {
     /// Σ shadow bytes that took the per-byte slow path (sub-word tails and
     /// trap-candidate words) across all workers.
     pub priv_slow_bytes: u64,
+    /// Σ pages (shadow + private) shipped in checkpoint contributions
+    /// across all workers. With delta contributions this counts only the
+    /// pages dirtied since each worker's previous contribution, so over a
+    /// multi-period span it tracks total dirty traffic, not footprint ×
+    /// periods.
+    pub contrib_pages: u64,
     /// Host-independent simulated-cycle accounting (see
     /// [`crate::model`]).
     pub sim: SimCost,
@@ -286,13 +298,24 @@ impl MainRuntime {
             let mut next_commit: u64 = 0;
             let mut earliest: Option<(i64, MisspecKind)> = None;
             let mut done = 0usize;
+            let mut bailed = false;
             let mut merge_ns = 0u64;
 
-            let note_misspec = |earliest: &mut Option<(i64, MisspecKind)>, iter: i64, kind| {
+            // Record a misspeculation the moment it is first observed (the
+            // Figure 5 timeline shows detection at detection time, not at
+            // worker drain), improving the earliest-iteration bound and
+            // re-emitting only when the bound actually tightens.
+            let note_misspec = |earliest: &mut Option<(i64, MisspecKind)>,
+                                events: &mut Vec<EngineEvent>,
+                                iter: i64,
+                                kind| {
                 flag.fetch_min(iter, Ordering::SeqCst);
                 match earliest {
                     Some((e, _)) if *e <= iter => {}
-                    _ => *earliest = Some((iter, kind)),
+                    _ => {
+                        *earliest = Some((iter, kind));
+                        events.push(EngineEvent::MisspecDetected { iter, kind });
+                    }
                 }
             };
 
@@ -300,11 +323,13 @@ impl MainRuntime {
                 let msg = rx.recv().expect("workers hold the sender");
                 match msg {
                     Msg::Contribution(c) => {
-                        pending.entry(c.period).or_default().push(*c);
+                        if !bailed {
+                            pending.entry(c.period).or_default().push(*c);
+                        }
                     }
                     Msg::Misspec { iter, kind } => {
                         self.stats.misspecs += 1;
-                        note_misspec(&mut earliest, iter, kind);
+                        note_misspec(&mut earliest, &mut self.events, iter, kind);
                     }
                     Msg::Done { stats } => {
                         done += 1;
@@ -316,6 +341,7 @@ impl MainRuntime {
                         self.stats.checkpoint_ns += stats.checkpoint_ns;
                         self.stats.priv_fast_words += stats.priv_fast_words;
                         self.stats.priv_slow_bytes += stats.priv_slow_bytes;
+                        self.stats.contrib_pages += stats.contrib_pages;
                         self.stats.iters_speculative += stats.iters;
                         // Simulated-time model: the slowest worker bounds
                         // the span.
@@ -336,7 +362,7 @@ impl MainRuntime {
                 }
                 // Commit fully contributed periods in order, stopping at
                 // (and never committing) a misspeculated period.
-                while next_commit < n_periods as u64 {
+                while !bailed && next_commit < n_periods as u64 {
                     let bad_period = earliest.map(|(m, _)| (m - lo) / k);
                     if bad_period.is_some_and(|bp| next_commit as i64 >= bp) {
                         break;
@@ -354,11 +380,14 @@ impl MainRuntime {
                         .map(|c| (c.shadow_pages.len() + c.priv_pages.len()) as u64)
                         .sum();
                     let mut merge = CheckpointMerge::new(redux.len());
-                    let mut failed = None;
-                    for c in contribs {
-                        if let Err(e) = merge.add(c, mem) {
-                            failed = Some(e);
-                            break;
+                    let mut failed = (cfg.inject_merge_fault == Some(next_commit))
+                        .then(|| Trap::Internal("injected merge fault".into()));
+                    if failed.is_none() {
+                        for c in contribs {
+                            if let Err(e) = merge.add(c, mem) {
+                                failed = Some(e);
+                                break;
+                            }
                         }
                     }
                     self.stats.checkpoints += 1;
@@ -367,13 +396,17 @@ impl MainRuntime {
                     match failed {
                         Some(Trap::Misspec(m)) => {
                             // Phase-2 violation: the whole period re-executes.
-                            note_misspec(&mut earliest, pend - 1, m.kind);
+                            note_misspec(&mut earliest, &mut self.events, pend - 1, m.kind);
                         }
                         Some(other) => {
+                            // Bail out of merging, but keep draining the
+                            // channel: every worker still owes its `Done`
+                            // stats, and dropping them silently
+                            // under-counts `iters_speculative`, `body_ns`
+                            // and the sim model.
                             outcome = Err(other);
-                            done = w_count; // bail; workers will observe the flag
+                            bailed = true;
                             flag.fetch_min(lo, Ordering::SeqCst);
-                            break;
                         }
                         None => {
                             merge_sim += merge.written_bytes() as u64 * model::MERGE_BYTE
@@ -404,10 +437,9 @@ impl MainRuntime {
             self.stats.checkpoint_ns += merge_ns;
 
             if outcome.is_ok() {
-                if let Some((iter, kind)) = earliest {
-                    self.events
-                        .push(EngineEvent::MisspecDetected { iter, kind });
-                    let _ = kind;
+                if let Some((iter, _)) = earliest {
+                    // The detection event was already emitted when the
+                    // misspeculation was first recorded.
                     outcome = Ok(SpanOutcome::Misspec {
                         iter,
                         resume_base: committed_through,
@@ -495,6 +527,7 @@ fn worker_main(
 ) {
     let rt = WorkerRuntime::new(w, cfg.inject_rate, cfg.inject_seed);
     let mut interp = Interp::with_mem(module, mem, global_addrs.to_vec(), NopHooks, rt);
+    let mut delta = DeltaTracker::seeded(&interp.mem);
     let mut period: u64 = 0;
     'periods: loop {
         let pbase = lo + period as i64 * k;
@@ -536,11 +569,12 @@ fn worker_main(
             }
             iter += w_count as i64;
         }
-        // Contribute to this period's checkpoint object.
+        // Contribute this period's *delta* — only pages dirtied since the
+        // previous contribution — to the checkpoint object; `collect`
+        // normalizes the shadow metadata and re-snapshots the page map.
         let t0 = Instant::now();
         let io = interp.rt.take_io();
-        let contrib = collect_contribution(w, period, &interp.mem, redux, io);
-        WorkerRuntime::normalize_shadow(&mut interp.mem);
+        let contrib = delta.collect(w, period, &mut interp.mem, redux, io);
         interp.rt.stats.checkpoint_ns += t0.elapsed().as_nanos() as u64;
         interp.rt.stats.contrib_pages +=
             (contrib.shadow_pages.len() + contrib.priv_pages.len()) as u64;

@@ -10,10 +10,17 @@
 //! ```text
 //! T_span(W) = SPAWN_BASE + W·SPAWN_PER_WORKER          (fork/dispatch)
 //!           + max_w ( insts_w + priv_bytes_w·PRIV_BYTE
-//!                   + pages_w·PACKAGE_PAGE )            (slowest worker)
+//!                   + dirty_pages_w·PACKAGE_PAGE )      (slowest worker)
 //!           + merged_bytes·MERGE_BYTE
-//!           + contrib_pages·MERGE_PAGE                  (commit, serial)
+//!           + dirty_pages·MERGE_PAGE                    (commit, serial)
 //! ```
+//!
+//! Page counts here are *dirty* pages: with delta contributions
+//! (`checkpoint::DeltaTracker`) a worker packages, and the merge scans,
+//! only the pages dirtied since its previous contribution — so both
+//! costs scale with the pages each period actually touches, not with the
+//! worker's cumulative footprint (which made multi-period spans
+//! quadratic in span length before).
 //!
 //! plus, after a misspeculation, the serial re-execution's instructions.
 //! Whole-program simulated time = the main thread's instructions + Σ span
@@ -28,11 +35,12 @@ pub const SPAWN_BASE: u64 = 10_000;
 pub const SPAWN_PER_WORKER: u64 = 500;
 /// Cost per byte of privacy validation (shadow metadata transition).
 pub const PRIV_BYTE: u64 = 1;
-/// Cost per page assembled into a checkpoint contribution (scan + COW).
+/// Cost per *dirty* page assembled into a checkpoint contribution
+/// (delta detection + `Arc` clone + shadow scan).
 pub const PACKAGE_PAGE: u64 = 256;
 /// Cost per byte merged and committed at a checkpoint.
 pub const MERGE_BYTE: u64 = 1;
-/// Cost per contributed page scanned during the merge.
+/// Cost per contributed (dirty) page scanned during the merge.
 pub const MERGE_PAGE: u64 = 128;
 
 /// Simulated-cycle accounting for one engine (or one invocation).

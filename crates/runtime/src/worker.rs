@@ -201,10 +201,15 @@ impl RuntimeIface for WorkerRuntime {
     fn h_free(&mut self, heap: Heap, addr: u64, _mem: &mut AddressSpace) -> Result<(), Trap> {
         match heap {
             Heap::ShortLived => {
-                self.sl_live -= 1;
+                // Validate the free before touching the lifetime counter:
+                // a bad free must not corrupt `sl_live`, or it could mask
+                // (or fake) a genuine §5.1 lifetime misspeculation in the
+                // same iteration.
                 self.shortlived
                     .free(addr)
-                    .map_err(|e| Trap::AllocError(e.to_string()))
+                    .map_err(|e| Trap::AllocError(e.to_string()))?;
+                self.sl_live -= 1;
+                Ok(())
             }
             other => Err(Trap::Internal(format!(
                 "worker free into heap `{other}` inside a parallel region"
@@ -526,6 +531,25 @@ mod tests {
         let _leak = rt.h_alloc(Heap::ShortLived, 32, &mut mem, site).unwrap();
         let e = rt.end_iteration().unwrap_err();
         assert!(matches!(e, Trap::Misspec(m) if m.kind == MisspecKind::Lifetime));
+    }
+
+    #[test]
+    fn double_free_does_not_corrupt_lifetime_counter() {
+        let (mut rt, mut mem, _) = setup();
+        let site = (FuncId::new(0), InstId::new(0));
+        rt.begin_iteration(0, 0).unwrap();
+        let p = rt.h_alloc(Heap::ShortLived, 32, &mut mem, site).unwrap();
+        rt.h_free(Heap::ShortLived, p, &mut mem).unwrap();
+        // The second free is invalid and must fail *without* decrementing
+        // the live counter below zero.
+        assert!(matches!(
+            rt.h_free(Heap::ShortLived, p, &mut mem),
+            Err(Trap::AllocError(_))
+        ));
+        // Allocations and successful frees balance, so the iteration ends
+        // cleanly; with the old decrement-first bug `sl_live` was -1 here
+        // and this tripped a bogus lifetime misspeculation.
+        rt.end_iteration().unwrap();
     }
 
     #[test]

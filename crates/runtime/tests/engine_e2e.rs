@@ -140,6 +140,7 @@ fn cfg(workers: usize) -> EngineConfig {
         checkpoint_period: 16,
         inject_rate: 0.0,
         inject_seed: 7,
+        inject_merge_fault: None,
     }
 }
 
@@ -219,21 +220,45 @@ fn figure5_timeline_on_injection() {
         Some(EngineEvent::Invoke { lo: 0, hi: N })
     ));
     assert!(matches!(ev.last(), Some(EngineEvent::InvokeDone)));
-    // Every misspeculation is followed (eventually) by a recovery, and the
-    // recovery covers the misspeculated iteration.
+    // Detection is emitted the moment the misspeculation is first
+    // recorded — not when the workers finish draining — so commits of
+    // *earlier* periods may still land between a detection and its
+    // recovery, but nothing may commit at or past the detected iteration,
+    // re-emission may only tighten the earliest-iteration bound, and every
+    // detection is eventually covered by a recovery.
     let mut saw_misspec = false;
-    for pair in ev.windows(2) {
-        if let EngineEvent::MisspecDetected { iter, .. } = pair[0] {
-            saw_misspec = true;
-            match pair[1] {
-                EngineEvent::Recovery { from, through } => {
-                    assert!(from <= iter && iter <= through, "recovery misses {iter}");
+    let mut outstanding: Option<i64> = None;
+    for e in ev {
+        match *e {
+            EngineEvent::MisspecDetected { iter, .. } => {
+                saw_misspec = true;
+                if let Some(prev) = outstanding {
+                    assert!(
+                        iter < prev,
+                        "re-emitted detection {iter} does not tighten {prev}"
+                    );
                 }
-                ref other => panic!("misspec followed by {other:?}"),
+                outstanding = Some(iter);
             }
+            EngineEvent::Recovery { from, through } => {
+                let iter = outstanding
+                    .take()
+                    .expect("recovery without a prior detection");
+                assert!(from <= iter && iter <= through, "recovery misses {iter}");
+            }
+            EngineEvent::CheckpointCommitted { end, .. } => {
+                if let Some(iter) = outstanding {
+                    assert!(
+                        end <= iter,
+                        "period ending at {end} committed past detected {iter}"
+                    );
+                }
+            }
+            _ => {}
         }
     }
     assert!(saw_misspec, "injection produced no misspeculation events");
+    assert!(outstanding.is_none(), "detection never recovered");
     // Committed checkpoints are in increasing period order.
     let periods: Vec<u64> = ev
         .iter()
@@ -243,6 +268,35 @@ fn figure5_timeline_on_injection() {
         })
         .collect();
     assert!(!periods.is_empty());
+}
+
+#[test]
+fn merge_fault_bails_without_dropping_worker_stats() {
+    // A non-misspeculation trap out of the phase-2 merge aborts the span,
+    // but the collection loop must keep draining the channel: every
+    // worker still owes its `Done` stats, and bailing out of the loop
+    // early used to discard them (under-counting `iters_speculative`,
+    // `body_ns` and the whole sim model).
+    let m = build_module(false);
+    let mut c = cfg(4);
+    c.inject_merge_fault = Some(0);
+    let (r, _, rt) = run_parallel(&m, c);
+    match r {
+        Err(Trap::Internal(msg)) => assert!(msg.contains("injected merge fault"), "{msg}"),
+        other => panic!("expected the injected merge fault, got {other:?}"),
+    }
+    // All four workers contributed period 0 before the merge ran, so the
+    // drained stats must reflect real speculative work.
+    assert!(
+        rt.stats.iters_speculative >= 4,
+        "worker stats dropped on merge bail: {} speculative iters",
+        rt.stats.iters_speculative
+    );
+    assert!(
+        rt.stats.body_ns > 0,
+        "worker body time dropped on merge bail"
+    );
+    assert!(rt.stats.priv_write_bytes > 0);
 }
 
 #[test]

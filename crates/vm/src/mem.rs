@@ -174,6 +174,13 @@ impl AddressSpace {
         self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| &**p)
     }
 
+    /// A cheap reference-counted handle to the materialized page
+    /// containing `addr`, if any — the zero-copy way to ship a page into
+    /// a checkpoint contribution.
+    pub fn page_arc(&self, addr: u64) -> Option<Arc<Page>> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(Arc::clone)
+    }
+
     /// Mutable access to the page containing `addr`, materializing a zero
     /// page if absent and copying a shared one (the COW fault).
     ///
@@ -433,6 +440,10 @@ mod tests {
         m.page_make_mut(0x5abc)[4] = 9;
         assert_eq!(m.read_u8(0x5004), 9);
         assert_eq!(m.page(0x5abc).expect("materialized")[4], 9);
+        // page_arc shares the underlying page rather than copying it.
+        assert!(m.page_arc(0x6000).is_none());
+        let handle = m.page_arc(0x5abc).expect("materialized");
+        assert!(std::ptr::eq(&*handle, m.page(0x5000).unwrap()));
         // Mutating through page_make_mut does not leak into a fork.
         let child = m.fork();
         m.page_make_mut(0x5000)[0] = 1;

@@ -25,6 +25,7 @@ fn main() {
         checkpoint_period: 8,
         inject_rate: 0.08, // force misspeculations
         inject_seed: 1234,
+        inject_merge_fault: None,
     };
     let mut interp = Interp::new(
         &result.module,

@@ -316,6 +316,8 @@ pub mod strategy {
     tuple_strategy!(A, B, C, D);
     tuple_strategy!(A, B, C, D, E);
     tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
 
     /// String-pattern strategies: a `&str` acts as a miniature regex over
     /// the subset `.`  `[a-z0-9_-]` (char classes with ranges), literal
