@@ -27,6 +27,7 @@ use privateer::baseline::{doall_only, DoallOnly};
 use privateer::pipeline::{privatize, LoopReport, PipelineConfig};
 use privateer_ir::Module;
 use privateer_runtime::{EngineConfig, EngineStats, MainRuntime, UncheckedDoallRuntime};
+use privateer_telemetry::Telemetry;
 use privateer_vm::{load_module, BasicRuntime, Interp, NopHooks};
 use privateer_workloads::{alvinn, blackscholes, dijkstra, md5, swaptions};
 use std::time::{Duration, Instant};
@@ -195,6 +196,22 @@ impl PrivRun {
 /// Panics if the pipeline or the run fails — harness programs want loud
 /// failures.
 pub fn run_privateer(module: &Module, workers: usize, inject_rate: f64) -> PrivRun {
+    run_privateer_with_telemetry(module, workers, inject_rate, Telemetry::disabled())
+}
+
+/// [`run_privateer`] with an explicit telemetry handle — pass
+/// [`Telemetry::enabled`] (and keep a clone) to capture a trace of the
+/// run, as the `privtrace` binary does.
+///
+/// # Panics
+///
+/// Panics if the pipeline or the run fails.
+pub fn run_privateer_with_telemetry(
+    module: &Module,
+    workers: usize,
+    inject_rate: f64,
+    tel: Telemetry,
+) -> PrivRun {
     let result = privatize(module, &PipelineConfig::default()).expect("pipeline");
     let image = load_module(&result.module);
     let cfg = EngineConfig {
@@ -208,7 +225,7 @@ pub fn run_privateer(module: &Module, workers: usize, inject_rate: f64) -> PrivR
         &result.module,
         &image,
         NopHooks,
-        MainRuntime::new(&image, cfg),
+        MainRuntime::with_telemetry(&image, cfg, tel),
     );
     let t0 = Instant::now();
     interp.run_main().expect("parallel run");

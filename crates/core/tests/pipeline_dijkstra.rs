@@ -83,7 +83,10 @@ fn dijkstra_privatizes_and_parallelizes() {
                 .rt
                 .events
                 .iter()
-                .filter(|e| matches!(e, privateer_runtime::EngineEvent::MisspecDetected { .. }))
+                .filter(|e| matches!(
+                    e.event,
+                    privateer_runtime::EngineEvent::MisspecDetected { .. }
+                ))
                 .collect::<Vec<_>>()
         );
         assert_eq!(interp.rt.stats.misspecs, 0, "speculation must hold");

@@ -28,9 +28,11 @@
 use crate::shadow;
 use privateer_ir::inst::SHADOW_BIT;
 use privateer_ir::Heap;
+use privateer_telemetry::{Phase, WorkerTelemetry};
 use privateer_vm::{AddressSpace, MisspecKind, Page, Trap, PAGE_SIZE};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One worker's speculative state for one checkpoint period.
 #[derive(Debug, Clone)]
@@ -141,6 +143,30 @@ impl DeltaTracker {
         redux: &[(privateer_ir::ReduxOp, u64, u64)],
         io: Vec<(i64, Vec<u8>)>,
     ) -> Contribution {
+        self.collect_traced(
+            worker,
+            period,
+            mem,
+            redux,
+            io,
+            &mut WorkerTelemetry::disabled(),
+        )
+    }
+
+    /// [`Self::collect`] with span recording: the packaging work becomes a
+    /// [`Phase::Package`] span (args: period, pages shipped) and the
+    /// normalize-and-resnapshot step a [`Phase::Normalize`] span on the
+    /// worker's track.
+    pub fn collect_traced(
+        &mut self,
+        worker: usize,
+        period: u64,
+        mem: &mut AddressSpace,
+        redux: &[(privateer_ir::ReduxOp, u64, u64)],
+        io: Vec<(i64, Vec<u8>)>,
+        tel: &mut WorkerTelemetry,
+    ) -> Contribution {
+        let t0 = Instant::now();
         let priv_lo = Heap::Private.base();
         let shadow_lo = priv_lo | SHADOW_BIT;
         let shadow_hi = shadow_lo + crate::heaps::HEAP_SPAN;
@@ -176,11 +202,19 @@ impl DeltaTracker {
             redux_images: redux_images(mem, redux),
             io,
         };
+        tel.span_since(
+            Phase::Package,
+            t0,
+            period as i64,
+            (contrib.shadow_pages.len() + contrib.priv_pages.len()) as i64,
+        );
+        let tn = Instant::now();
         crate::worker::WorkerRuntime::normalize_shadow(mem);
         self.shadow_snap = mem
             .pages_in_range(shadow_lo, shadow_hi)
             .into_iter()
             .collect();
+        tel.span_since(Phase::Normalize, tn, period as i64, 0);
         contrib
     }
 }

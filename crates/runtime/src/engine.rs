@@ -18,6 +18,10 @@ use crate::shadow::MAX_PERIOD;
 use crate::worker::{WorkerRuntime, WorkerStats};
 use privateer_ir::inst::SHADOW_BIT;
 use privateer_ir::{FuncId, Heap, InstId, Module, PlanEntry, ReduxOp};
+use privateer_telemetry::{
+    clock, Counter, Histogram, MetricsRegistry, Phase, SpanEvent, Stamped, Telemetry, TraceData,
+    WorkerTelemetry, ENGINE_TRACK,
+};
 use privateer_vm::interp::{Interp, ProgramImage};
 use privateer_vm::{AddressSpace, MisspecKind, NopHooks, RuntimeIface, Trap, Val};
 use std::collections::BTreeMap;
@@ -119,7 +123,9 @@ pub struct EngineStats {
     pub iters_speculative: u64,
     /// Wall-clock time of parallel invocations (ns).
     pub wall_ns: u64,
-    /// `workers × wall` — total computational capacity (ns).
+    /// `workers × wall` of parallel spans *plus* `workers ×` recovery
+    /// wall — total computational capacity, counting the capacity the
+    /// machine holds idle while serial recovery stalls the pipeline.
     pub capacity_ns: u64,
     /// Σ worker time executing the loop body, checks included (ns).
     pub body_ns: u64,
@@ -127,8 +133,14 @@ pub struct EngineStats {
     pub priv_read_ns: u64,
     /// Σ worker time in `private_write` validation (ns).
     pub priv_write_ns: u64,
-    /// Σ worker checkpoint-packaging time + engine merge time (ns).
+    /// Σ worker checkpoint-packaging time + engine merge time (ns),
+    /// including merge attempts that failed (a phase-2 violation or an
+    /// internal merge fault) — the drain path is checkpoint work too.
     pub checkpoint_ns: u64,
+    /// Wall-clock time of sequential misspeculation recovery (ns). The
+    /// whole machine is held while recovery runs, so this window also
+    /// contributes `workers ×` its duration to [`Self::capacity_ns`].
+    pub recovery_ns: u64,
     /// Σ 8-byte shadow words handled by the word-granular (SWAR) privacy
     /// fast path across all workers.
     pub priv_fast_words: u64,
@@ -147,9 +159,17 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// The Figure 8 utilization breakdown as fractions of total capacity:
-    /// `(useful, private read, private write, checkpoint, spawn/join)`.
-    pub fn breakdown(&self) -> (f64, f64, f64, f64, f64) {
+    /// The wall-clock utilization breakdown as fractions of total
+    /// capacity: `(useful, private read, private write, checkpoint,
+    /// recovery, spawn/join)`.
+    ///
+    /// `checkpoint` includes failed merge attempts (the merge-fault drain
+    /// path), and `recovery` is the serial re-execution's share of the
+    /// held capacity; the `(workers - 1)` idle shares during a recovery
+    /// window surface in the `spawn/join` residual along with fork and
+    /// scheduling slack. Earlier versions dropped both of these into the
+    /// residual, overstating spawn/join whenever misspeculation occurred.
+    pub fn breakdown(&self) -> (f64, f64, f64, f64, f64, f64) {
         let cap = self.capacity_ns.max(1) as f64;
         let useful = self
             .body_ns
@@ -158,20 +178,81 @@ impl EngineStats {
         let pr = self.priv_read_ns as f64 / cap;
         let pw = self.priv_write_ns as f64 / cap;
         let ck = self.checkpoint_ns as f64 / cap;
-        let spawn_join = (1.0 - useful - pr - pw - ck).max(0.0);
-        (useful, pr, pw, ck, spawn_join)
+        let rec = self.recovery_ns as f64 / cap;
+        let spawn_join = (1.0 - useful - pr - pw - ck - rec).max(0.0);
+        (useful, pr, pw, ck, rec, spawn_join)
     }
 }
 
 enum Msg {
     Contribution(Box<Contribution>),
-    Misspec { iter: i64, kind: MisspecKind },
-    Done { stats: WorkerStats },
+    Misspec {
+        iter: i64,
+        kind: MisspecKind,
+    },
+    Done {
+        stats: WorkerStats,
+        tel: WorkerTelemetry,
+    },
 }
 
 enum SpanOutcome {
     Complete,
     Misspec { iter: i64, resume_base: i64 },
+}
+
+/// The engine's handles into the metrics registry. These counters are
+/// the source of truth for the cross-worker totals; the corresponding
+/// [`EngineStats`] fields are snapshot views refreshed at worker drain so
+/// existing consumers (Table 3, Figure 8) keep working unchanged.
+#[derive(Debug)]
+struct EngineMetrics {
+    invocations: Counter,
+    checkpoints: Counter,
+    misspecs: Counter,
+    priv_fast_words: Counter,
+    priv_slow_bytes: Counter,
+    contrib_pages: Counter,
+    recovered_iters: Counter,
+    merge_ns: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(reg: &MetricsRegistry) -> EngineMetrics {
+        EngineMetrics {
+            invocations: reg.counter("engine.invocations"),
+            checkpoints: reg.counter("engine.checkpoints"),
+            misspecs: reg.counter("engine.misspecs"),
+            priv_fast_words: reg.counter("priv.fast_words"),
+            priv_slow_bytes: reg.counter("priv.slow_bytes"),
+            contrib_pages: reg.counter("checkpoint.contrib_pages"),
+            recovered_iters: reg.counter("recovery.iters"),
+            merge_ns: reg.histogram("checkpoint.merge_ns"),
+        }
+    }
+}
+
+/// Stamp `event` into the Figure 5 log, mirroring the instants that have
+/// no explicit span (detection, resume) into the trace sink.
+fn push_event(tel: &Telemetry, events: &mut Vec<Stamped<EngineEvent>>, event: EngineEvent) {
+    if tel.is_tracing() {
+        let instant = match &event {
+            EngineEvent::MisspecDetected { iter, .. } => Some((Phase::Misspec, *iter)),
+            EngineEvent::ParallelResumed { at } => Some((Phase::Resume, *at)),
+            _ => None,
+        };
+        if let Some((phase, a)) = instant {
+            tel.record(SpanEvent {
+                ts_ns: clock::now_ns(),
+                dur_ns: 0,
+                phase,
+                track: ENGINE_TRACK,
+                a,
+                b: 0,
+            });
+        }
+    }
+    events.push(tel.stamp(event));
 }
 
 /// The main-process runtime: shared-heap allocation plus the speculative
@@ -184,23 +265,54 @@ pub struct MainRuntime {
     pub heaps: SharedHeaps,
     /// Aggregate statistics.
     pub stats: EngineStats,
-    /// Event log (Figure 5 timeline).
-    pub events: Vec<EngineEvent>,
+    /// Event log (Figure 5 timeline), stamped for happens-before
+    /// assertions.
+    pub events: Vec<Stamped<EngineEvent>>,
+    /// Telemetry handle: metrics registry (always live) plus the trace
+    /// sink when tracing is enabled.
+    pub tel: Telemetry,
+    metrics: EngineMetrics,
     redux: Vec<(ReduxOp, u64, u64)>,
     out: Vec<u8>,
+    inject_phase2: Option<u64>,
 }
 
 impl MainRuntime {
-    /// Build from a loaded image and a configuration.
+    /// Build from a loaded image and a configuration, with telemetry
+    /// disabled.
     pub fn new(image: &ProgramImage, cfg: EngineConfig) -> MainRuntime {
+        MainRuntime::with_telemetry(image, cfg, Telemetry::disabled())
+    }
+
+    /// Build with an explicit telemetry handle (e.g.
+    /// [`Telemetry::enabled`] to capture a trace).
+    pub fn with_telemetry(image: &ProgramImage, cfg: EngineConfig, tel: Telemetry) -> MainRuntime {
+        let metrics = EngineMetrics::new(tel.registry());
         MainRuntime {
             cfg,
             heaps: SharedHeaps::new(image),
             stats: EngineStats::default(),
             events: Vec::new(),
+            tel,
+            metrics,
             redux: Vec::new(),
             out: Vec::new(),
+            inject_phase2: None,
         }
+    }
+
+    /// Snapshot the trace collected so far (events + metrics).
+    pub fn trace(&self) -> TraceData {
+        self.tel.trace()
+    }
+
+    /// Fault-injection hook for tests: fail the phase-2 merge of `period`
+    /// with a privacy misspeculation, forcing the whole period through
+    /// the recovery path. One-shot — clears itself when it fires, so the
+    /// resumed span (whose periods renumber from zero) is unaffected.
+    #[doc(hidden)]
+    pub fn inject_phase2_misspec(&mut self, period: u64) {
+        self.inject_phase2 = Some(period);
     }
 
     /// Bytes printed so far (committed output only).
@@ -258,6 +370,7 @@ impl MainRuntime {
         let flag = AtomicI64::new(i64::MAX);
         let (tx, rx) = mpsc::channel::<Msg>();
         let cfg = self.cfg;
+        let tel = self.tel.clone();
 
         let mut outcome: Result<SpanOutcome, Trap> = Ok(SpanOutcome::Complete);
         let mut committed_through = lo; // first uncommitted iteration
@@ -270,6 +383,7 @@ impl MainRuntime {
                 let tx = tx.clone();
                 let flag = &flag;
                 let redux = redux.clone();
+                let wtel = tel.worker(w as u32 + 1);
                 scope.spawn(move || {
                     worker_main(
                         w,
@@ -285,6 +399,7 @@ impl MainRuntime {
                         &redux,
                         tx,
                         flag,
+                        wtel,
                     );
                 });
             }
@@ -306,7 +421,7 @@ impl MainRuntime {
             // worker drain), improving the earliest-iteration bound and
             // re-emitting only when the bound actually tightens.
             let note_misspec = |earliest: &mut Option<(i64, MisspecKind)>,
-                                events: &mut Vec<EngineEvent>,
+                                events: &mut Vec<Stamped<EngineEvent>>,
                                 iter: i64,
                                 kind| {
                 flag.fetch_min(iter, Ordering::SeqCst);
@@ -314,7 +429,7 @@ impl MainRuntime {
                     Some((e, _)) if *e <= iter => {}
                     _ => {
                         *earliest = Some((iter, kind));
-                        events.push(EngineEvent::MisspecDetected { iter, kind });
+                        push_event(&tel, events, EngineEvent::MisspecDetected { iter, kind });
                     }
                 }
             };
@@ -329,9 +444,10 @@ impl MainRuntime {
                     }
                     Msg::Misspec { iter, kind } => {
                         self.stats.misspecs += 1;
+                        self.metrics.misspecs.add(1);
                         note_misspec(&mut earliest, &mut self.events, iter, kind);
                     }
-                    Msg::Done { stats } => {
+                    Msg::Done { stats, tel: wtel } => {
                         done += 1;
                         self.stats.body_ns += stats.body_ns;
                         self.stats.priv_read_ns += stats.priv_read_ns;
@@ -339,9 +455,16 @@ impl MainRuntime {
                         self.stats.priv_read_bytes += stats.priv_read_bytes;
                         self.stats.priv_write_bytes += stats.priv_write_bytes;
                         self.stats.checkpoint_ns += stats.checkpoint_ns;
-                        self.stats.priv_fast_words += stats.priv_fast_words;
-                        self.stats.priv_slow_bytes += stats.priv_slow_bytes;
-                        self.stats.contrib_pages += stats.contrib_pages;
+                        // The registry counters are the source of truth
+                        // for these totals; the stats fields are snapshot
+                        // views refreshed at each drain.
+                        self.metrics.priv_fast_words.add(stats.priv_fast_words);
+                        self.metrics.priv_slow_bytes.add(stats.priv_slow_bytes);
+                        self.metrics.contrib_pages.add(stats.contrib_pages);
+                        self.stats.priv_fast_words = self.metrics.priv_fast_words.get();
+                        self.stats.priv_slow_bytes = self.metrics.priv_slow_bytes.get();
+                        self.stats.contrib_pages = self.metrics.contrib_pages.get();
+                        self.tel.absorb(wtel);
                         self.stats.iters_speculative += stats.iters;
                         // Simulated-time model: the slowest worker bounds
                         // the span.
@@ -375,6 +498,7 @@ impl MainRuntime {
                     }
                     let contribs = pending.remove(&next_commit).expect("checked above");
                     let t0 = Instant::now();
+                    let n_contribs = contribs.len() as i64;
                     let contrib_pages_in_merge: u64 = contribs
                         .iter()
                         .map(|c| (c.shadow_pages.len() + c.priv_pages.len()) as u64)
@@ -390,12 +514,32 @@ impl MainRuntime {
                             }
                         }
                     }
+                    if failed.is_none() && self.inject_phase2 == Some(next_commit) {
+                        self.inject_phase2 = None;
+                        failed = Some(Trap::misspec(
+                            MisspecKind::Privacy,
+                            "injected phase-2 privacy violation",
+                        ));
+                    }
+                    if tel.is_tracing() {
+                        tel.record(SpanEvent {
+                            ts_ns: clock::instant_ns(t0),
+                            dur_ns: t0.elapsed().as_nanos() as u64,
+                            phase: Phase::Merge,
+                            track: ENGINE_TRACK,
+                            a: next_commit as i64,
+                            b: n_contribs,
+                        });
+                    }
                     self.stats.checkpoints += 1;
+                    self.metrics.checkpoints.add(1);
                     let pbase = lo + next_commit as i64 * k;
                     let pend = (pbase + k).min(hi);
                     match failed {
                         Some(Trap::Misspec(m)) => {
                             // Phase-2 violation: the whole period re-executes.
+                            self.stats.misspecs += 1;
+                            self.metrics.misspecs.add(1);
                             note_misspec(&mut earliest, &mut self.events, pend - 1, m.kind);
                         }
                         Some(other) => {
@@ -411,6 +555,7 @@ impl MainRuntime {
                         None => {
                             merge_sim += merge.written_bytes() as u64 * model::MERGE_BYTE
                                 + contrib_pages_in_merge * model::MERGE_PAGE;
+                            let tc = Instant::now();
                             // Commit reductions: pre ⊕ fold(worker images).
                             for (i, &(op, addr, _size)) in redux.iter().enumerate() {
                                 let mut acc = pre_redux[i].clone();
@@ -422,16 +567,36 @@ impl MainRuntime {
                             for (_, bytes) in merge.commit(mem) {
                                 self.out.extend(bytes);
                             }
-                            merge_ns += t0.elapsed().as_nanos() as u64;
+                            if tel.is_tracing() {
+                                tel.record(SpanEvent {
+                                    ts_ns: clock::instant_ns(tc),
+                                    dur_ns: tc.elapsed().as_nanos() as u64,
+                                    phase: Phase::Commit,
+                                    track: ENGINE_TRACK,
+                                    a: next_commit as i64,
+                                    b: 0,
+                                });
+                            }
                             committed_through = pend;
-                            self.events.push(EngineEvent::CheckpointCommitted {
-                                period: next_commit,
-                                base: pbase,
-                                end: pend,
-                            });
+                            push_event(
+                                &tel,
+                                &mut self.events,
+                                EngineEvent::CheckpointCommitted {
+                                    period: next_commit,
+                                    base: pbase,
+                                    end: pend,
+                                },
+                            );
                             next_commit += 1;
                         }
                     }
+                    // Merge wall time counts whether or not the merge
+                    // succeeded — a failed attempt (phase-2 violation or
+                    // injected fault) is checkpoint work too, and used to
+                    // leak into the spawn/join residual.
+                    let el = t0.elapsed().as_nanos() as u64;
+                    merge_ns += el;
+                    self.metrics.merge_ns.record(el);
                 }
             }
             self.stats.checkpoint_ns += merge_ns;
@@ -451,6 +616,16 @@ impl MainRuntime {
         let wall = span_t0.elapsed().as_nanos() as u64;
         self.stats.wall_ns += wall;
         self.stats.capacity_ns += wall * w_count as u64;
+        if self.tel.is_tracing() {
+            self.tel.record(SpanEvent {
+                ts_ns: clock::instant_ns(span_t0),
+                dur_ns: wall,
+                phase: Phase::ParallelSpan,
+                track: ENGINE_TRACK,
+                a: lo,
+                b: hi,
+            });
+        }
         let span_sim =
             model::SPAWN_BASE + model::SPAWN_PER_WORKER * w_count as u64 + max_busy + merge_sim;
         self.stats.sim.total += span_sim;
@@ -470,7 +645,12 @@ impl MainRuntime {
         through: i64,
         mem: &mut AddressSpace,
     ) -> Result<(), Trap> {
-        self.events.push(EngineEvent::Recovery { from, through });
+        let t0 = Instant::now();
+        push_event(
+            &self.tel,
+            &mut self.events,
+            EngineEvent::Recovery { from, through },
+        );
         let rt = RecoveryRuntime {
             heaps: self.heaps.clone(),
             out: Vec::new(),
@@ -490,6 +670,26 @@ impl MainRuntime {
         self.stats.sim.recovery += rec_insts;
         *mem = interp.mem;
         self.stats.recovered_iters += (through - from + 1).max(0) as u64;
+        self.metrics
+            .recovered_iters
+            .add((through - from + 1).max(0) as u64);
+        // The whole machine is held while serial recovery runs: the wall
+        // time accrues to `recovery_ns` and the held capacity to
+        // `capacity_ns` (workers × wall), so the Figure 8 breakdown can
+        // attribute it instead of leaking it into spawn/join.
+        let wall = t0.elapsed().as_nanos() as u64;
+        self.stats.recovery_ns += wall;
+        self.stats.capacity_ns += wall * self.cfg.workers.max(1) as u64;
+        if self.tel.is_tracing() {
+            self.tel.record(SpanEvent {
+                ts_ns: clock::instant_ns(t0),
+                dur_ns: wall,
+                phase: Phase::Recovery,
+                track: ENGINE_TRACK,
+                a: from,
+                b: through,
+            });
+        }
         result
     }
 }
@@ -524,8 +724,10 @@ fn worker_main(
     redux: &[(ReduxOp, u64, u64)],
     tx: mpsc::Sender<Msg>,
     flag: &AtomicI64,
+    wtel: WorkerTelemetry,
 ) {
-    let rt = WorkerRuntime::new(w, cfg.inject_rate, cfg.inject_seed);
+    let mut rt = WorkerRuntime::new(w, cfg.inject_rate, cfg.inject_seed);
+    rt.tel = wtel;
     let mut interp = Interp::with_mem(module, mem, global_addrs.to_vec(), NopHooks, rt);
     let mut delta = DeltaTracker::seeded(&interp.mem);
     let mut period: u64 = 0;
@@ -555,6 +757,7 @@ fn worker_main(
                 interp.rt.end_iteration()
             })();
             interp.rt.stats.body_ns += t0.elapsed().as_nanos() as u64;
+            interp.rt.tel.span_since(Phase::Iteration, t0, iter, 0);
             if let Err(trap) = step {
                 let kind = match trap {
                     Trap::Misspec(m) => m.kind,
@@ -574,7 +777,8 @@ fn worker_main(
         // normalizes the shadow metadata and re-snapshots the page map.
         let t0 = Instant::now();
         let io = interp.rt.take_io();
-        let contrib = delta.collect(w, period, &mut interp.mem, redux, io);
+        let contrib =
+            delta.collect_traced(w, period, &mut interp.mem, redux, io, &mut interp.rt.tel);
         interp.rt.stats.checkpoint_ns += t0.elapsed().as_nanos() as u64;
         interp.rt.stats.contrib_pages +=
             (contrib.shadow_pages.len() + contrib.priv_pages.len()) as u64;
@@ -583,7 +787,8 @@ fn worker_main(
     }
     let mut stats = interp.rt.stats;
     stats.insts = interp.stats.insts;
-    let _ = tx.send(Msg::Done { stats });
+    let tel = std::mem::replace(&mut interp.rt.tel, WorkerTelemetry::disabled());
+    let _ = tx.send(Msg::Done { stats, tel });
 }
 
 impl RuntimeIface for MainRuntime {
@@ -664,7 +869,9 @@ impl RuntimeIface for MainRuntime {
             return Ok(());
         }
         self.stats.invocations += 1;
-        self.events.push(EngineEvent::Invoke { lo, hi });
+        self.metrics.invocations.add(1);
+        let t0 = Instant::now();
+        push_event(&self.tel, &mut self.events, EngineEvent::Invoke { lo, hi });
         let mut next = lo;
         while next < hi {
             match self.span(module, global_addrs, plan.body, next, hi, mem)? {
@@ -673,12 +880,26 @@ impl RuntimeIface for MainRuntime {
                     self.recover(module, global_addrs, plan.recovery, resume_base, iter, mem)?;
                     next = iter + 1;
                     if next < hi {
-                        self.events.push(EngineEvent::ParallelResumed { at: next });
+                        push_event(
+                            &self.tel,
+                            &mut self.events,
+                            EngineEvent::ParallelResumed { at: next },
+                        );
                     }
                 }
             }
         }
-        self.events.push(EngineEvent::InvokeDone);
+        if self.tel.is_tracing() {
+            self.tel.record(SpanEvent {
+                ts_ns: clock::instant_ns(t0),
+                dur_ns: t0.elapsed().as_nanos() as u64,
+                phase: Phase::Invoke,
+                track: ENGINE_TRACK,
+                a: lo,
+                b: hi,
+            });
+        }
+        push_event(&self.tel, &mut self.events, EngineEvent::InvokeDone);
         Ok(())
     }
 }
@@ -828,5 +1049,42 @@ impl RuntimeIface for SequentialPlanRuntime {
         self.out.extend(std::mem::take(&mut interp.rt.out));
         *mem = interp.mem;
         result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression test for the breakdown accounting: recovery and failed
+    /// merge time must show up in their own buckets, not inflate the
+    /// spawn/join residual. (Before the `recovery_ns` bucket existed, a
+    /// synthetic run like this attributed the whole recovery window to
+    /// spawn/join.)
+    #[test]
+    fn breakdown_accounts_recovery_separately() {
+        let stats = EngineStats {
+            wall_ns: 1_000,
+            capacity_ns: 4 * 1_000 + 4 * 500, // 4 workers, 500 ns recovery
+            body_ns: 2_400,
+            priv_read_ns: 200,
+            priv_write_ns: 200,
+            checkpoint_ns: 600,
+            recovery_ns: 500,
+            ..EngineStats::default()
+        };
+        let (useful, pr, pw, ck, rec, spawn_join) = stats.breakdown();
+        let cap = 6_000.0;
+        assert!((useful - 2_000.0 / cap).abs() < 1e-9);
+        assert!((pr - 200.0 / cap).abs() < 1e-9);
+        assert!((pw - 200.0 / cap).abs() < 1e-9);
+        assert!((ck - 600.0 / cap).abs() < 1e-9);
+        assert!((rec - 500.0 / cap).abs() < 1e-9);
+        // The residual is what's left: fork/join slack plus the idle
+        // (workers - 1) shares of the recovery window.
+        let sum = useful + pr + pw + ck + rec + spawn_join;
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Recovery must not be part of the residual.
+        assert!((spawn_join - (cap - 2_000.0 - 400.0 - 600.0 - 500.0) / cap).abs() < 1e-9);
     }
 }

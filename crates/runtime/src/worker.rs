@@ -4,6 +4,7 @@ use crate::heaps::worker_shortlived_arena;
 use crate::shadow::{self, Access};
 use privateer_ir::inst::SHADOW_BIT;
 use privateer_ir::{FuncId, Heap, InstId, Module, PlanEntry, ReduxOp};
+use privateer_telemetry::{Phase, WorkerTelemetry};
 use privateer_vm::{AddressSpace, MisspecKind, RegionAllocator, RuntimeIface, Trap, PAGE_SIZE};
 use std::time::Instant;
 
@@ -77,10 +78,14 @@ pub struct WorkerRuntime {
     inject_seed: u64,
     /// Accumulated statistics.
     pub stats: WorkerStats,
+    /// Per-worker trace recording handle (disabled by default; the engine
+    /// installs a live one when tracing). Recording is lock-free — the
+    /// handle owns its ring.
+    pub tel: WorkerTelemetry,
 }
 
 impl WorkerRuntime {
-    /// A runtime for worker `w`.
+    /// A runtime for worker `w` (telemetry disabled).
     pub fn new(w: usize, inject_rate: f64, inject_seed: u64) -> WorkerRuntime {
         WorkerRuntime {
             worker: w,
@@ -93,6 +98,7 @@ impl WorkerRuntime {
             inject_rate,
             inject_seed,
             stats: WorkerStats::default(),
+            tel: WorkerTelemetry::disabled(),
         }
     }
 
@@ -232,21 +238,27 @@ impl RuntimeIface for WorkerRuntime {
         }
     }
 
+    #[inline]
     fn private_read(&mut self, addr: u64, size: u64, mem: &mut AddressSpace) -> Result<(), Trap> {
         let t0 = Instant::now();
         let r = self.private_access(Access::Read, addr, size, mem);
         self.stats.priv_read_ns += t0.elapsed().as_nanos() as u64;
         self.stats.priv_read_bytes += size;
         self.stats.priv_read_calls += 1;
+        self.tel
+            .span_since(Phase::PrivRead, t0, addr as i64, size as i64);
         r
     }
 
+    #[inline]
     fn private_write(&mut self, addr: u64, size: u64, mem: &mut AddressSpace) -> Result<(), Trap> {
         let t0 = Instant::now();
         let r = self.private_access(Access::Write, addr, size, mem);
         self.stats.priv_write_ns += t0.elapsed().as_nanos() as u64;
         self.stats.priv_write_bytes += size;
         self.stats.priv_write_calls += 1;
+        self.tel
+            .span_since(Phase::PrivWrite, t0, addr as i64, size as i64);
         r
     }
 
@@ -340,7 +352,11 @@ impl WorkerRuntime {
     /// Word-granular privacy check: equivalent to
     /// [`Self::private_access_bytewise`] but processes eight shadow bytes
     /// per step on the no-trap path (see [`shadow::word`]).
-    fn private_access(
+    ///
+    /// Public so the `privateer-bench` overhead suite can measure the raw
+    /// check with the [`RuntimeIface`] wrapper (timing, counters,
+    /// telemetry) compiled out of the loop entirely.
+    pub fn private_access(
         &mut self,
         access: Access,
         addr: u64,

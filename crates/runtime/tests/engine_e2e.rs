@@ -5,6 +5,7 @@
 use privateer_ir::builder::FunctionBuilder;
 use privateer_ir::{CmpOp, GlobalInit, Heap, Intrinsic, Module, PlanEntry, ReduxOp, Type, Value};
 use privateer_runtime::{EngineConfig, EngineEvent, MainRuntime, SequentialPlanRuntime};
+use privateer_telemetry::{assert_happens_before, assert_stamps_ordered};
 use privateer_vm::{load_module, Interp, NopHooks, Trap};
 
 const N: i64 = 100;
@@ -215,23 +216,44 @@ fn figure5_timeline_on_injection() {
     let (r, _, rt) = run_parallel(&m, c);
     r.unwrap();
     let ev = &rt.events;
+    // The log is stamped in emission order by the engine's telemetry
+    // handle: sequence numbers strictly increase, timestamps never
+    // regress.
+    assert_stamps_ordered(ev);
+    // The Figure 5 ordering properties, as happens-before assertions over
+    // the stamped log (these used to be hand-rolled index arithmetic):
+    assert_happens_before(
+        ev,
+        |e| matches!(e, EngineEvent::Invoke { lo: 0, hi: N }),
+        |e| matches!(e, EngineEvent::InvokeDone),
+        "invoke -> invoke-done",
+    );
+    assert_happens_before(
+        ev,
+        |e| matches!(e, EngineEvent::MisspecDetected { .. }),
+        |e| matches!(e, EngineEvent::Recovery { .. }),
+        "misspec detection -> recovery",
+    );
+    assert_happens_before(
+        ev,
+        |e| matches!(e, EngineEvent::Invoke { .. }),
+        |e| matches!(e, EngineEvent::MisspecDetected { .. }),
+        "invoke -> detection",
+    );
     assert!(matches!(
-        ev.first(),
-        Some(EngineEvent::Invoke { lo: 0, hi: N })
+        ev.last().map(|e| &e.event),
+        Some(EngineEvent::InvokeDone)
     ));
-    assert!(matches!(ev.last(), Some(EngineEvent::InvokeDone)));
     // Detection is emitted the moment the misspeculation is first
     // recorded — not when the workers finish draining — so commits of
     // *earlier* periods may still land between a detection and its
     // recovery, but nothing may commit at or past the detected iteration,
     // re-emission may only tighten the earliest-iteration bound, and every
     // detection is eventually covered by a recovery.
-    let mut saw_misspec = false;
     let mut outstanding: Option<i64> = None;
     for e in ev {
-        match *e {
+        match e.event {
             EngineEvent::MisspecDetected { iter, .. } => {
-                saw_misspec = true;
                 if let Some(prev) = outstanding {
                     assert!(
                         iter < prev,
@@ -257,13 +279,12 @@ fn figure5_timeline_on_injection() {
             _ => {}
         }
     }
-    assert!(saw_misspec, "injection produced no misspeculation events");
     assert!(outstanding.is_none(), "detection never recovered");
     // Committed checkpoints are in increasing period order.
     let periods: Vec<u64> = ev
         .iter()
-        .filter_map(|e| match e {
-            EngineEvent::CheckpointCommitted { period, .. } => Some(*period),
+        .filter_map(|e| match e.event {
+            EngineEvent::CheckpointCommitted { period, .. } => Some(period),
             _ => None,
         })
         .collect();
@@ -368,7 +389,7 @@ fn shortlived_objects_and_lifetime_validation() {
     assert!(rt
         .events
         .iter()
-        .any(|e| matches!(e, EngineEvent::MisspecDetected { iter: 42, .. })));
+        .any(|e| matches!(e.event, EngineEvent::MisspecDetected { iter: 42, .. })));
 }
 
 #[test]

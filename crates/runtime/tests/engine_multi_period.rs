@@ -144,8 +144,8 @@ fn late_period_misspeculation_preserves_committed_prefix_and_io() {
     let committed_before_recovery = rt
         .events
         .iter()
-        .take_while(|e| !matches!(e, EngineEvent::Recovery { .. }))
-        .filter(|e| matches!(e, EngineEvent::CheckpointCommitted { .. }))
+        .take_while(|e| !matches!(e.event, EngineEvent::Recovery { .. }))
+        .filter(|e| matches!(e.event, EngineEvent::CheckpointCommitted { .. }))
         .count();
     assert!(
         committed_before_recovery >= 4,
@@ -155,5 +155,5 @@ fn late_period_misspeculation_preserves_committed_prefix_and_io() {
     assert!(rt
         .events
         .iter()
-        .any(|e| matches!(e, EngineEvent::ParallelResumed { .. })));
+        .any(|e| matches!(e.event, EngineEvent::ParallelResumed { .. })));
 }

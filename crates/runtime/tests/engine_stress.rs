@@ -114,11 +114,10 @@ fn misspeculation_on_final_iteration_recovers() {
     assert_eq!(interp.rt.take_output(), want);
     assert_eq!(interp.rt.stats.misspecs, 1);
     // After recovering iteration 11 there is nothing left: no resume event.
-    assert!(!interp
-        .rt
-        .events
-        .iter()
-        .any(|e| matches!(e, privateer_runtime::EngineEvent::ParallelResumed { .. })));
+    assert!(!interp.rt.events.iter().any(|e| matches!(
+        e.event,
+        privateer_runtime::EngineEvent::ParallelResumed { .. }
+    )));
 }
 
 #[test]

@@ -1,0 +1,121 @@
+//! Event-ordering assertions for tests.
+//!
+//! The engine's timeline tests used to hand-roll index arithmetic over
+//! the event log; these helpers express the same happens-before
+//! properties declaratively over [`Stamped`] events, using the sequence
+//! numbers (which totally order events stamped through one handle).
+
+use crate::event::Stamped;
+
+/// Assert that every event matching `after` is preceded (strictly, by
+/// sequence number) by at least one event matching `before`, and that
+/// both predicates match at least once.
+///
+/// `what` names the property in the panic message, e.g.
+/// `"misspec detection -> recovery"`.
+///
+/// # Panics
+///
+/// Panics with `what` and the offending sequence numbers when the
+/// property does not hold.
+#[track_caller]
+pub fn assert_happens_before<E>(
+    events: &[Stamped<E>],
+    before: impl Fn(&E) -> bool,
+    after: impl Fn(&E) -> bool,
+    what: &str,
+) {
+    let first_before = events
+        .iter()
+        .filter(|e| before(&e.event))
+        .map(|e| e.seq)
+        .min();
+    let Some(first_before) = first_before else {
+        panic!("happens-before `{what}`: no event matches the `before` predicate");
+    };
+    let mut matched_after = false;
+    for e in events.iter().filter(|e| after(&e.event)) {
+        matched_after = true;
+        assert!(
+            first_before < e.seq,
+            "happens-before `{what}`: event at seq {} is not preceded by any \
+             `before` match (earliest is seq {first_before})",
+            e.seq,
+        );
+    }
+    assert!(
+        matched_after,
+        "happens-before `{what}`: no event matches the `after` predicate"
+    );
+}
+
+/// Assert the log's sequence numbers are strictly increasing and its
+/// timestamps non-decreasing — i.e. the log was recorded in stamping
+/// order by a single owner.
+///
+/// # Panics
+///
+/// Panics naming the first out-of-order pair.
+#[track_caller]
+pub fn assert_stamps_ordered<E>(events: &[Stamped<E>]) {
+    for w in events.windows(2) {
+        assert!(
+            w[0].seq < w[1].seq,
+            "sequence numbers out of order: {} then {}",
+            w[0].seq,
+            w[1].seq
+        );
+        assert!(
+            w[0].ts_ns <= w[1].ts_ns,
+            "timestamps regress: {} ns (seq {}) then {} ns (seq {})",
+            w[0].ts_ns,
+            w[0].seq,
+            w[1].ts_ns,
+            w[1].seq
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(pairs: &[(u64, char)]) -> Vec<Stamped<char>> {
+        pairs
+            .iter()
+            .map(|&(seq, c)| Stamped {
+                ts_ns: seq * 10,
+                seq,
+                event: c,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accepts_ordered_pairs() {
+        let ev = log(&[(0, 'a'), (1, 'b'), (2, 'a'), (3, 'b')]);
+        assert_happens_before(&ev, |e| *e == 'a', |e| *e == 'b', "a before b");
+        assert_stamps_ordered(&ev);
+    }
+
+    #[test]
+    #[should_panic(expected = "not preceded")]
+    fn rejects_inverted_pairs() {
+        let ev = log(&[(0, 'b'), (1, 'a')]);
+        assert_happens_before(&ev, |e| *e == 'a', |e| *e == 'b', "a before b");
+    }
+
+    #[test]
+    #[should_panic(expected = "no event matches the `before`")]
+    fn requires_a_before_witness() {
+        let ev = log(&[(0, 'b')]);
+        assert_happens_before(&ev, |e| *e == 'a', |e| *e == 'b', "a before b");
+    }
+
+    #[test]
+    #[should_panic(expected = "no event matches the `after`")]
+    fn requires_an_after_witness() {
+        let ev = log(&[(0, 'a')]);
+        assert_happens_before(&ev, |e| *e == 'a', |e| *e == 'b', "a before b");
+    }
+}

@@ -1,0 +1,118 @@
+//! A fixed-capacity, single-owner event ring.
+//!
+//! Each worker thread owns one ring: recording is a bounds check and an
+//! array store — no locks, no allocation after construction. When the
+//! ring is full the *oldest* events are overwritten (the tail of a run —
+//! where misspeculation and recovery live — is usually the interesting
+//! part), and the number of overwritten events is counted so exporters
+//! can report truncation instead of silently pretending full coverage.
+
+use crate::event::SpanEvent;
+
+/// Fixed-capacity circular buffer of [`SpanEvent`]s.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: Vec<SpanEvent>,
+    cap: usize,
+    /// Index of the next write when the ring has wrapped.
+    head: usize,
+    /// Events overwritten after the ring filled.
+    overwritten: u64,
+}
+
+impl EventRing {
+    /// A ring holding up to `capacity` events (0 = record nothing).
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Record one event. O(1), never allocates beyond the initial
+    /// capacity; overwrites the oldest event once full.
+    #[inline]
+    pub fn push(&mut self, ev: SpanEvent) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were overwritten after the ring filled.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Drain the ring into a vector in recording order (oldest surviving
+    /// event first).
+    pub fn into_events(mut self) -> Vec<SpanEvent> {
+        self.buf.rotate_left(self.head);
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    fn ev(i: i64) -> SpanEvent {
+        SpanEvent {
+            ts_ns: i as u64,
+            dur_ns: 1,
+            phase: Phase::Iteration,
+            track: 1,
+            a: i,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut r = EventRing::new(4);
+        for i in 0..6 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.overwritten(), 2);
+        let out: Vec<i64> = r.into_events().iter().map(|e| e.a).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        assert!(r.is_empty());
+        assert_eq!(r.overwritten(), 0);
+    }
+
+    #[test]
+    fn under_capacity_keeps_order() {
+        let mut r = EventRing::new(8);
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        let out: Vec<i64> = r.into_events().iter().map(|e| e.a).collect();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

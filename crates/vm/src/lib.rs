@@ -28,7 +28,7 @@ pub mod runtime;
 pub mod trap;
 pub mod val;
 
-pub use hooks::{AllocKind, ExecCtx, Hooks, LoopFrame, NopHooks};
+pub use hooks::{AllocKind, ExecCtx, Hooks, LoopFrame, NopHooks, TraceHooks};
 pub use interp::{load_module, Interp, InterpStats, ProgramImage};
 pub use mem::{AddressSpace, Page, RegionAllocator, PAGE_SIZE};
 pub use runtime::{BasicRuntime, CheckMode, RuntimeIface};

@@ -42,7 +42,7 @@ fn main() {
 
     println!("execution timeline (cf. the paper's Figure 5):");
     for event in &interp.rt.events {
-        match event {
+        match &event.event {
             EngineEvent::Invoke { lo, hi } => {
                 println!("  invoke parallel region over iterations {lo}..{hi}")
             }

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Enforce the telemetry disabled-overhead budget from bench output.
+
+Reads criterion-style output on stdin (or a file given as argv[1]), finds
+every `telemetry_disabled_overhead_64B/{disabled,compiled_out}` line, and
+fails if `disabled` exceeds `compiled_out` by more than the budget
+(default 3%, override with argv[2]).
+
+Each side is summarized by its best (minimum) per-iteration time across
+all reported `[min median max]` triples — feed the output of several
+bench runs to squeeze out scheduler noise; the minimum is what the code
+costs when the machine isn't interfering.
+
+See docs/observability.md ("The disabled-overhead contract").
+"""
+
+import re
+import sys
+
+UNITS = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+LINE = re.compile(
+    r"telemetry_disabled_overhead_64B/(\w+)\s+time:\s+\["
+    r"([\d.]+) (\S+) [\d.]+ \S+ [\d.]+ \S+\]"
+)
+
+
+def best_ns(text, which):
+    lows = [
+        float(m.group(2)) * UNITS[m.group(3)]
+        for m in LINE.finditer(text)
+        if m.group(1) == which
+    ]
+    if not lows:
+        sys.exit(f"error: no telemetry_disabled_overhead_64B/{which} line found")
+    return min(lows)
+
+
+def main():
+    text = open(sys.argv[1]).read() if len(sys.argv) > 1 else sys.stdin.read()
+    budget = float(sys.argv[2]) if len(sys.argv) > 2 else 0.03
+    disabled = best_ns(text, "disabled")
+    baseline = best_ns(text, "compiled_out")
+    overhead = disabled / baseline - 1.0
+    print(
+        f"disabled {disabled:.1f} ns vs compiled-out {baseline:.1f} ns: "
+        f"{overhead:+.2%} (budget {budget:+.0%})"
+    )
+    if overhead > budget:
+        sys.exit("error: disabled-telemetry overhead exceeds budget")
+
+
+if __name__ == "__main__":
+    main()

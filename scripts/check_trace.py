@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Validate a privtrace Chrome trace_event export.
+
+Usage: check_trace.py TRACE.json WORKERS
+
+Checks that the file is well-formed JSON in the Chrome trace_event
+envelope, names one track per worker plus the engine, and carries at
+least one complete ("ph": "X") span per track.
+"""
+
+import json
+import sys
+
+
+def main():
+    path, workers = sys.argv[1], int(sys.argv[2])
+    doc = json.load(open(path))
+    events = doc["traceEvents"]
+    names = {
+        e["args"]["name"]: e["tid"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+    expected = {"engine"} | {f"worker {w}" for w in range(workers)}
+    missing = expected - names.keys()
+    if missing:
+        sys.exit(f"error: missing tracks {sorted(missing)} (have {sorted(names)})")
+    spans_by_tid = {}
+    for e in events:
+        if e.get("ph") == "X":
+            assert e["dur"] >= 0 and e["ts"] >= 0, e
+            spans_by_tid.setdefault(e["tid"], 0)
+            spans_by_tid[e["tid"]] += 1
+    idle = [n for n, tid in names.items() if tid not in spans_by_tid]
+    if idle:
+        sys.exit(f"error: tracks with no spans: {sorted(idle)}")
+    print(
+        f"ok: {len(events)} events, {len(names)} tracks, "
+        f"{sum(spans_by_tid.values())} spans"
+    )
+
+
+if __name__ == "__main__":
+    main()
