@@ -28,7 +28,7 @@ fn speedup_with(
         checkpoint_period: period,
         inject_rate: inject,
         inject_seed: 0xab1,
-        inject_merge_fault: None,
+        ..EngineConfig::default()
     };
     let mut interp = Interp::new(
         &result.module,

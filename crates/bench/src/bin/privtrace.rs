@@ -142,6 +142,7 @@ fn main() -> ExitCode {
         "package",
         "normalize",
         "merge",
+        "merge_lane",
         "commit",
         "recovery",
     ] {

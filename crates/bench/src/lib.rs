@@ -219,7 +219,7 @@ pub fn run_privateer_with_telemetry(
         checkpoint_period: 16,
         inject_rate,
         inject_seed: 0xf19,
-        inject_merge_fault: None,
+        ..EngineConfig::default()
     };
     let mut interp = Interp::new(
         &result.module,

@@ -159,7 +159,7 @@ fn main() -> ExitCode {
             checkpoint_period: opts.checkpoint_period,
             inject_rate: opts.inject,
             inject_seed: 0xc11,
-            inject_merge_fault: None,
+            ..EngineConfig::default()
         };
         let mut interp = Interp::new(
             &result.module,

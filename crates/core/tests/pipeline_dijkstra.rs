@@ -67,7 +67,7 @@ fn dijkstra_privatizes_and_parallelizes() {
             checkpoint_period: 4,
             inject_rate: 0.0,
             inject_seed: 1,
-            inject_merge_fault: None,
+            ..EngineConfig::default()
         };
         let mut interp = Interp::new(tm, &image, NopHooks, MainRuntime::new(&image, cfg));
         interp
@@ -129,7 +129,7 @@ fn dijkstra_parallel_with_injected_misspeculation() {
         checkpoint_period: 4,
         inject_rate: 0.25,
         inject_seed: 33,
-        inject_merge_fault: None,
+        ..EngineConfig::default()
     };
     let mut interp = Interp::new(
         &result.module,

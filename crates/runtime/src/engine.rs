@@ -11,7 +11,7 @@
 //! recovery from the last valid checkpoint, and resumes parallel
 //! execution.
 
-use crate::checkpoint::{CheckpointMerge, Contribution, DeltaTracker};
+use crate::checkpoint::{self, CheckpointMerge, Contribution, DeltaTracker, LaneTrap};
 use crate::heaps::SharedHeaps;
 use crate::model::{self, SimCost};
 use crate::shadow::MAX_PERIOD;
@@ -20,13 +20,13 @@ use privateer_ir::inst::SHADOW_BIT;
 use privateer_ir::{FuncId, Heap, InstId, Module, PlanEntry, ReduxOp};
 use privateer_telemetry::{
     clock, Counter, Histogram, MetricsRegistry, Phase, SpanEvent, Stamped, Telemetry, TraceData,
-    WorkerTelemetry, ENGINE_TRACK,
+    WorkerTelemetry, ENGINE_TRACK, MERGE_LANE_TRACK_BASE,
 };
 use privateer_vm::interp::{Interp, ProgramImage};
 use privateer_vm::{AddressSpace, MisspecKind, NopHooks, RuntimeIface, Trap, Val};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 /// Engine configuration.
@@ -37,6 +37,17 @@ pub struct EngineConfig {
     /// Checkpoint period in iterations (clamped to the 253-iteration
     /// metadata bound).
     pub checkpoint_period: u64,
+    /// Merge lanes for the sharded phase-2 checkpoint merge: each
+    /// period's contributions are bucketed by page index
+    /// (`checkpoint::lane_of`) and the buckets merge concurrently on a
+    /// persistent lane pool, followed by a short ordered commit. `1`
+    /// (or `0`) merges inline on the engine thread, exactly as before
+    /// the pool existed; and with any lane count, a period whose page
+    /// distribution is too small or too skewed to amortize the lane
+    /// fan-out merges inline too ([`model::sharding_profitable`]).
+    /// Commits, traps and I/O order are byte-identical for every lane
+    /// count.
+    pub merge_lanes: usize,
     /// Injected misspeculation rate per iteration (the §6.3 experiment).
     pub inject_rate: f64,
     /// Seed for deterministic injection.
@@ -53,6 +64,7 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             checkpoint_period: 64,
+            merge_lanes: 4,
             inject_rate: 0.0,
             inject_seed: 0x5eed,
             inject_merge_fault: None,
@@ -153,6 +165,19 @@ pub struct EngineStats {
     /// multi-period span it tracks total dirty traffic, not footprint ×
     /// periods.
     pub contrib_pages: u64,
+    /// Σ contribution pages (shadow + private) dropped *eagerly* because
+    /// their period was at or after a detected misspeculation — freed the
+    /// moment the squash is known instead of being pinned in the pending
+    /// map until the span's workers join.
+    pub squashed_pages_dropped: u64,
+    /// Simulated cycles of the phase-2 merge term alone (the merge part
+    /// of [`Self::sim`]`.checkpoint`; packaging excluded). With
+    /// `merge_lanes > 1`, periods the adaptive policy elects to shard
+    /// (see [`model::sharding_profitable`]) use the sharded formula —
+    /// lane dispatch plus the slowest lane — so comparing runs at
+    /// different lane counts isolates what sharding buys (see
+    /// [`crate::model`]).
+    pub merge_sim_cycles: u64,
     /// Host-independent simulated-cycle accounting (see
     /// [`crate::model`]).
     pub sim: SimCost,
@@ -213,6 +238,7 @@ struct EngineMetrics {
     priv_fast_words: Counter,
     priv_slow_bytes: Counter,
     contrib_pages: Counter,
+    squashed_pages: Counter,
     recovered_iters: Counter,
     merge_ns: Histogram,
 }
@@ -226,6 +252,7 @@ impl EngineMetrics {
             priv_fast_words: reg.counter("priv.fast_words"),
             priv_slow_bytes: reg.counter("priv.slow_bytes"),
             contrib_pages: reg.counter("checkpoint.contrib_pages"),
+            squashed_pages: reg.counter("checkpoint.squashed_pages"),
             recovered_iters: reg.counter("recovery.iters"),
             merge_ns: reg.histogram("checkpoint.merge_ns"),
         }
@@ -255,6 +282,125 @@ fn push_event(tel: &Telemetry, events: &mut Vec<Stamped<EngineEvent>>, event: En
     events.push(tel.stamp(event));
 }
 
+/// One sharded-merge job: every contribution of one period (side data
+/// already stripped) plus a COW snapshot of the committed address space
+/// for phase-2 lookups. Each lane thread merges its own page bucket.
+struct LaneJob {
+    contribs: Arc<Vec<Contribution>>,
+    committed: Arc<AddressSpace>,
+    lanes: usize,
+}
+
+/// One lane's merge result: the lane-local merge state (committed in
+/// lane order on success), the lane's first trap in canonical order (if
+/// any), and the span timing for the lane's telemetry track.
+struct LaneDone {
+    lane: usize,
+    merge: CheckpointMerge,
+    trap: Option<(usize, LaneTrap)>,
+    pages: u64,
+    ts_ns: u64,
+    dur_ns: u64,
+}
+
+/// A persistent pool of merge-lane threads, one per lane, reused across
+/// periods and spans (spawning threads per period would eat the win on
+/// small merges). Each lane has its own job channel; results funnel into
+/// one shared channel the engine drains, `lanes` results per period.
+#[derive(Debug)]
+struct MergePool {
+    lanes: usize,
+    txs: Vec<mpsc::Sender<LaneJob>>,
+    rx: mpsc::Receiver<LaneDone>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl MergePool {
+    fn new(lanes: usize) -> MergePool {
+        let (done_tx, rx) = mpsc::channel::<LaneDone>();
+        let mut txs = Vec::with_capacity(lanes);
+        let mut handles = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let (tx, jobs) = mpsc::channel::<LaneJob>();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("merge-lane-{lane}"))
+                .spawn(move || {
+                    for job in jobs.iter() {
+                        let t0 = Instant::now();
+                        let mut merge = CheckpointMerge::new(0);
+                        let trap = checkpoint::merge_lane(
+                            &mut merge,
+                            &job.contribs,
+                            lane,
+                            job.lanes,
+                            &job.committed,
+                        )
+                        .err();
+                        let pages: u64 = job
+                            .contribs
+                            .iter()
+                            .map(|c| (c.shadow_lane(lane).len() + c.priv_lane(lane).len()) as u64)
+                            .sum();
+                        let out = LaneDone {
+                            lane,
+                            merge,
+                            trap,
+                            pages,
+                            ts_ns: clock::instant_ns(t0),
+                            dur_ns: t0.elapsed().as_nanos() as u64,
+                        };
+                        if done.send(out).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn merge-lane thread");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        MergePool {
+            lanes,
+            txs,
+            rx,
+            handles,
+        }
+    }
+}
+
+impl Drop for MergePool {
+    fn drop(&mut self) {
+        self.txs.clear(); // closing the job channels ends the lane loops
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Drop every pending contribution for periods `>= first_bad` (they can
+/// never commit once that period misspeculated) and return the number of
+/// pages released. Freeing eagerly matters: the squashed contributions
+/// pin page `Arc`s — and with them whole COW page chains — that would
+/// otherwise survive until the span's workers join.
+fn prune_squashed(pending: &mut BTreeMap<u64, Vec<Contribution>>, first_bad: u64) -> u64 {
+    let squashed = pending.split_off(&first_bad);
+    squashed
+        .values()
+        .flat_map(|v| v.iter())
+        .map(|c| c.page_count() as u64)
+        .sum()
+}
+
+/// Whether a contribution arriving for `period` is already known dead —
+/// the merge bailed on an internal fault, or a misspeculation at
+/// iteration `misspec_iter` squashed that period and everything after it.
+/// Such a contribution is dropped on arrival instead of being pinned in
+/// the pending map until the span's workers join (the arrival-side twin
+/// of [`prune_squashed`]).
+fn arrival_squashed(bailed: bool, misspec_iter: Option<i64>, period: u64, lo: i64, k: i64) -> bool {
+    bailed || misspec_iter.is_some_and(|m| period as i64 >= (m - lo) / k)
+}
+
 /// The main-process runtime: shared-heap allocation plus the speculative
 /// DOALL engine behind [`RuntimeIface::parallel_invoke`].
 #[derive(Debug)]
@@ -275,6 +421,7 @@ pub struct MainRuntime {
     redux: Vec<(ReduxOp, u64, u64)>,
     out: Vec<u8>,
     inject_phase2: Option<u64>,
+    pool: Option<MergePool>,
 }
 
 impl MainRuntime {
@@ -298,6 +445,15 @@ impl MainRuntime {
             redux: Vec::new(),
             out: Vec::new(),
             inject_phase2: None,
+            pool: None,
+        }
+    }
+
+    /// Lazily (re)build the merge-lane pool for the configured lane
+    /// count. The pool persists across periods and spans.
+    fn ensure_pool(&mut self, lanes: usize) {
+        if self.pool.as_ref().is_none_or(|p| p.lanes != lanes) {
+            self.pool = Some(MergePool::new(lanes));
         }
     }
 
@@ -340,6 +496,10 @@ impl MainRuntime {
     ) -> Result<SpanOutcome, Trap> {
         let w_count = self.cfg.workers.max(1);
         let k = self.cfg.checkpoint_period.clamp(1, MAX_PERIOD) as i64;
+        let lanes = self.cfg.merge_lanes.max(1);
+        if lanes > 1 {
+            self.ensure_pool(lanes);
+        }
         let span_t0 = Instant::now();
 
         // Fresh live-in metadata for this span.
@@ -438,7 +598,17 @@ impl MainRuntime {
                 let msg = rx.recv().expect("workers hold the sender");
                 match msg {
                     Msg::Contribution(c) => {
-                        if !bailed {
+                        // A contribution for a period at or after a known
+                        // misspeculation can never commit: drop it on
+                        // arrival instead of pinning its pages in
+                        // `pending` until the workers join.
+                        let squashed =
+                            arrival_squashed(bailed, earliest.map(|(m, _)| m), c.period, lo, k);
+                        if squashed {
+                            let pages = c.page_count() as u64;
+                            self.stats.squashed_pages_dropped += pages;
+                            self.metrics.squashed_pages.add(pages);
+                        } else {
                             pending.entry(c.period).or_default().push(*c);
                         }
                     }
@@ -446,6 +616,16 @@ impl MainRuntime {
                         self.stats.misspecs += 1;
                         self.metrics.misspecs.add(1);
                         note_misspec(&mut earliest, &mut self.events, iter, kind);
+                        // Periods at or after the misspeculated one are
+                        // squashed: release their buffered pages now.
+                        if let Some((m, _)) = earliest {
+                            let dropped =
+                                prune_squashed(&mut pending, ((m - lo) / k).max(0) as u64);
+                            if dropped > 0 {
+                                self.stats.squashed_pages_dropped += dropped;
+                                self.metrics.squashed_pages.add(dropped);
+                            }
+                        }
                     }
                     Msg::Done { stats, tel: wtel } => {
                         done += 1;
@@ -496,22 +676,131 @@ impl MainRuntime {
                     if !ready {
                         break;
                     }
-                    let contribs = pending.remove(&next_commit).expect("checked above");
+                    let mut contribs = pending.remove(&next_commit).expect("checked above");
+                    // Canonical merge order: sorting by worker id makes
+                    // trap selection and reduction folds deterministic
+                    // (the old arrival order varied run to run).
+                    contribs.sort_by_key(|c| c.worker);
                     let t0 = Instant::now();
                     let n_contribs = contribs.len() as i64;
-                    let contrib_pages_in_merge: u64 = contribs
-                        .iter()
-                        .map(|c| (c.shadow_pages.len() + c.priv_pages.len()) as u64)
-                        .sum();
-                    let mut merge = CheckpointMerge::new(redux.len());
+                    let contrib_pages_in_merge: u64 =
+                        contribs.iter().map(|c| c.page_count() as u64).sum();
+                    // Strip the per-contribution side data up front:
+                    // deferred I/O and reduction images are never sharded
+                    // — the engine folds them centrally, in worker order.
+                    let mut period_io: Vec<(i64, Vec<u8>)> = Vec::new();
+                    let mut period_images: Vec<Vec<Vec<u8>>> = vec![Vec::new(); redux.len()];
+                    for c in &mut contribs {
+                        period_io.append(&mut c.io);
+                        for (i, img) in c.redux_images.drain(..).enumerate() {
+                            period_images[i].push(img);
+                        }
+                    }
                     let mut failed = (cfg.inject_merge_fault == Some(next_commit))
                         .then(|| Trap::Internal("injected merge fault".into()));
+                    let mut lane_merges: Vec<CheckpointMerge> = Vec::new();
+                    let mut merge_cost = 0u64;
                     if failed.is_none() {
-                        for c in contribs {
-                            if let Err(e) = merge.add(c, mem) {
-                                failed = Some(e);
-                                break;
+                        // Adaptive sharding: estimate both merge formulas
+                        // from the per-lane page distribution (read off
+                        // the contributions' bucket tables) and merge
+                        // inline unless the shard is predicted to win —
+                        // small or skewed periods lose to the lane
+                        // fan-out (`model::sharding_profitable`).
+                        // Commits, traps and I/O are byte-identical
+                        // either way.
+                        let mut lane_pages = vec![0u64; lanes];
+                        for c in &contribs {
+                            if c.lanes() == lanes {
+                                for (l, lp) in lane_pages.iter_mut().enumerate() {
+                                    *lp += (c.shadow_lane(l).len() + c.priv_lane(l).len()) as u64;
+                                }
+                            } else {
+                                for (b, _) in c.shadow_pages.iter().chain(c.priv_pages.iter()) {
+                                    lane_pages[checkpoint::lane_of(*b, lanes)] += 1;
+                                }
                             }
+                        }
+                        if !model::sharding_profitable(&lane_pages) {
+                            // Inline single-lane merge on the engine
+                            // thread, exactly the pre-pool behavior.
+                            let mut merge = CheckpointMerge::new(0);
+                            if let Err((_, lt)) =
+                                checkpoint::merge_lane(&mut merge, &contribs, 0, 1, mem)
+                            {
+                                failed = Some(lt.trap);
+                            }
+                            merge_cost = merge.written_bytes() as u64 * model::MERGE_BYTE
+                                + contrib_pages_in_merge * model::MERGE_PAGE;
+                            if tel.is_tracing() {
+                                tel.record(SpanEvent {
+                                    ts_ns: clock::instant_ns(t0),
+                                    dur_ns: (t0.elapsed().as_nanos() as u64).max(1),
+                                    phase: Phase::MergeLane,
+                                    track: MERGE_LANE_TRACK_BASE,
+                                    a: next_commit as i64,
+                                    b: contrib_pages_in_merge as i64,
+                                });
+                            }
+                            lane_merges.push(merge);
+                        } else {
+                            // Sharded merge: fan the period out to the
+                            // lane pool against a COW snapshot of the
+                            // committed space, then fan the lane states
+                            // back in.
+                            let shared = Arc::new(std::mem::take(&mut contribs));
+                            let committed = Arc::new(mem.fork());
+                            let pool = self.pool.as_ref().expect("pool ensured for lanes > 1");
+                            for lane_tx in &pool.txs {
+                                lane_tx
+                                    .send(LaneJob {
+                                        contribs: Arc::clone(&shared),
+                                        committed: Arc::clone(&committed),
+                                        lanes,
+                                    })
+                                    .expect("merge-lane thread alive");
+                            }
+                            let mut dones: Vec<LaneDone> = (0..lanes)
+                                .map(|_| pool.rx.recv().expect("merge-lane result"))
+                                .collect();
+                            dones.sort_by_key(|d| d.lane);
+                            // The globally-first trap is the minimal
+                            // (contribution index, byte address) over the
+                            // lanes' first traps — byte-identical to the
+                            // serial merge's trap (see checkpoint docs).
+                            let first = dones
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(i, d)| {
+                                    d.trap.as_ref().map(|(ci, lt)| ((*ci, lt.addr), i))
+                                })
+                                .min()
+                                .map(|(_, i)| i);
+                            if let Some(i) = first {
+                                let (_, lt) = dones[i].trap.take().expect("selected above");
+                                failed = Some(lt.trap);
+                            }
+                            // Lanes overlap: dispatch fan-out plus the
+                            // slowest lane bound the simulated merge.
+                            let mut max_lane = 0u64;
+                            for d in &dones {
+                                max_lane = max_lane.max(
+                                    d.merge.written_bytes() as u64 * model::MERGE_BYTE
+                                        + d.pages * model::MERGE_PAGE,
+                                );
+                                if tel.is_tracing() {
+                                    tel.record(SpanEvent {
+                                        ts_ns: d.ts_ns,
+                                        dur_ns: d.dur_ns.max(1),
+                                        phase: Phase::MergeLane,
+                                        track: MERGE_LANE_TRACK_BASE + d.lane as u32,
+                                        a: next_commit as i64,
+                                        b: d.pages as i64,
+                                    });
+                                }
+                            }
+                            merge_cost = model::MERGE_LANE_DISPATCH * lanes as u64 + max_lane;
+                            lane_merges = dones.into_iter().map(|d| d.merge).collect();
                         }
                     }
                     if failed.is_none() && self.inject_phase2 == Some(next_commit) {
@@ -541,6 +830,13 @@ impl MainRuntime {
                             self.stats.misspecs += 1;
                             self.metrics.misspecs.add(1);
                             note_misspec(&mut earliest, &mut self.events, pend - 1, m.kind);
+                            // This period and everything after it are
+                            // squashed: drop their buffered pages now.
+                            let dropped = prune_squashed(&mut pending, next_commit);
+                            if dropped > 0 {
+                                self.stats.squashed_pages_dropped += dropped;
+                                self.metrics.squashed_pages.add(dropped);
+                            }
                         }
                         Some(other) => {
                             // Bail out of merging, but keep draining the
@@ -551,20 +847,33 @@ impl MainRuntime {
                             outcome = Err(other);
                             bailed = true;
                             flag.fetch_min(lo, Ordering::SeqCst);
+                            let dropped = prune_squashed(&mut pending, 0);
+                            if dropped > 0 {
+                                self.stats.squashed_pages_dropped += dropped;
+                                self.metrics.squashed_pages.add(dropped);
+                            }
                         }
                         None => {
-                            merge_sim += merge.written_bytes() as u64 * model::MERGE_BYTE
-                                + contrib_pages_in_merge * model::MERGE_PAGE;
+                            merge_sim += merge_cost;
                             let tc = Instant::now();
-                            // Commit reductions: pre ⊕ fold(worker images).
+                            // Commit reductions: pre ⊕ fold(worker images),
+                            // folded in worker order.
                             for (i, &(op, addr, _size)) in redux.iter().enumerate() {
                                 let mut acc = pre_redux[i].clone();
-                                for img in &merge.redux_images[i] {
+                                for img in &period_images[i] {
                                     combine_images(op, &mut acc, img);
                                 }
                                 mem.write_bytes(addr, &acc);
                             }
-                            for (_, bytes) in merge.commit(mem) {
+                            // Ordered commit: lane states apply in lane
+                            // order (disjoint pages — any order yields
+                            // identical memory), then the period's I/O
+                            // retires in iteration order.
+                            for merge in lane_merges {
+                                let _ = merge.commit(mem); // lanes carry no I/O
+                            }
+                            period_io.sort_by_key(|a| a.0);
+                            for (_, bytes) in period_io {
                                 self.out.extend(bytes);
                             }
                             if tel.is_tracing() {
@@ -631,6 +940,7 @@ impl MainRuntime {
         self.stats.sim.total += span_sim;
         self.stats.sim.capacity += span_sim * w_count as u64;
         self.stats.sim.checkpoint += merge_sim;
+        self.stats.merge_sim_cycles += merge_sim;
         outcome
     }
 
@@ -729,7 +1039,9 @@ fn worker_main(
     let mut rt = WorkerRuntime::new(w, cfg.inject_rate, cfg.inject_seed);
     rt.tel = wtel;
     let mut interp = Interp::with_mem(module, mem, global_addrs.to_vec(), NopHooks, rt);
-    let mut delta = DeltaTracker::seeded(&interp.mem);
+    // Package contributions pre-bucketed for the engine's merge lanes so
+    // the merge side never re-scans pages.
+    let mut delta = DeltaTracker::seeded(&interp.mem, cfg.merge_lanes.max(1));
     let mut period: u64 = 0;
     'periods: loop {
         let pbase = lo + period as i64 * k;
@@ -1055,6 +1367,71 @@ impl RuntimeIface for SequentialPlanRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression test for the eager-drop bugfix: once a period is known
+    /// squashed, pruning must release the contribution pages (their
+    /// `Arc`s) immediately — before worker join — not merely unlink the
+    /// map entries.
+    #[test]
+    fn prune_squashed_releases_page_arcs_eagerly() {
+        use privateer_vm::{Page, PAGE_SIZE};
+        let page: Arc<Page> = Arc::new([0u8; PAGE_SIZE as usize]);
+        let mk = |period: u64| Contribution {
+            worker: 0,
+            period,
+            shadow_pages: vec![(0x1000, Arc::clone(&page))],
+            priv_pages: vec![(0x1000, Arc::clone(&page))],
+            shadow_lane_starts: vec![0, 1],
+            priv_lane_starts: vec![0, 1],
+            redux_images: vec![],
+            io: vec![],
+        };
+        let mut pending: BTreeMap<u64, Vec<Contribution>> = BTreeMap::new();
+        for p in 0..4u64 {
+            pending.entry(p).or_default().push(mk(p));
+        }
+        assert_eq!(Arc::strong_count(&page), 1 + 8);
+        let dropped = prune_squashed(&mut pending, 2);
+        assert_eq!(dropped, 4, "two contributions × two pages each");
+        assert_eq!(
+            Arc::strong_count(&page),
+            1 + 4,
+            "squashed periods' pages must be freed at prune time"
+        );
+        assert_eq!(pending.len(), 2, "committed-side periods stay buffered");
+    }
+
+    /// Regression test for the arrival-side twin of the eager drop: a
+    /// contribution for a period at or after a detected misspeculation
+    /// (or arriving after an internal-fault bail) is dead on arrival and
+    /// must not be buffered. Exercised deterministically here because in
+    /// a live span whether any late contribution actually arrives is a
+    /// scheduling race (the contributing worker usually sees the squash
+    /// flag first).
+    #[test]
+    fn arrival_drop_covers_squashed_periods_exactly() {
+        let (lo, k) = (0i64, 16i64);
+        // Misspeculation at iteration 70 squashes period 4 onward.
+        let misspec = Some(70i64);
+        for period in 0..4u64 {
+            assert!(!arrival_squashed(false, misspec, period, lo, k));
+        }
+        for period in 4..8u64 {
+            assert!(arrival_squashed(false, misspec, period, lo, k));
+        }
+        // Misspeculation exactly on a period boundary squashes the period
+        // it opens, not the one it closes.
+        assert!(!arrival_squashed(false, Some(64), 3, lo, k));
+        assert!(arrival_squashed(false, Some(64), 4, lo, k));
+        // A non-zero span base shifts the period arithmetic: iteration
+        // 134 of a span starting at 64 is period 4, not period 8.
+        assert!(!arrival_squashed(false, Some(134), 3, 64, k));
+        assert!(arrival_squashed(false, Some(134), 4, 64, k));
+        // An internal-fault bail squashes everything, no misspec needed.
+        assert!(arrival_squashed(true, None, 0, lo, k));
+        // No squash known: everything buffers.
+        assert!(!arrival_squashed(false, None, 7, lo, k));
+    }
 
     /// Regression test for the breakdown accounting: recovery and failed
     /// merge time must show up in their own buckets, not inflate the

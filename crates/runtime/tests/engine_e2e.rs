@@ -141,7 +141,7 @@ fn cfg(workers: usize) -> EngineConfig {
         checkpoint_period: 16,
         inject_rate: 0.0,
         inject_seed: 7,
-        inject_merge_fault: None,
+        ..EngineConfig::default()
     }
 }
 

@@ -81,7 +81,7 @@ fn degenerate_configurations_all_agree() {
             checkpoint_period: period,
             inject_rate: 0.0,
             inject_seed: 0,
-            inject_merge_fault: None,
+            ..EngineConfig::default()
         };
         let mut interp = Interp::new(&m, &image, NopHooks, MainRuntime::new(&image, cfg));
         interp.run_main().unwrap();
@@ -107,7 +107,7 @@ fn misspeculation_on_final_iteration_recovers() {
         checkpoint_period: 5,
         inject_rate: 0.02,
         inject_seed: seed,
-        inject_merge_fault: None,
+        ..EngineConfig::default()
     };
     let mut interp = Interp::new(&m, &image, NopHooks, MainRuntime::new(&image, cfg));
     interp.run_main().unwrap();
@@ -133,7 +133,7 @@ fn genuine_error_reproduces_sequentially() {
         checkpoint_period: 4,
         inject_rate: 0.0,
         inject_seed: 0,
-        inject_merge_fault: None,
+        ..EngineConfig::default()
     };
     let mut interp = Interp::new(&m, &image, NopHooks, MainRuntime::new(&image, cfg));
     let err = interp.run_main().unwrap_err();
@@ -153,7 +153,7 @@ fn empty_and_single_iteration_regions() {
             checkpoint_period: 8,
             inject_rate: 0.0,
             inject_seed: 0,
-            inject_merge_fault: None,
+            ..EngineConfig::default()
         };
         let mut interp = Interp::new(&m, &image, NopHooks, MainRuntime::new(&image, cfg));
         interp.run_main().unwrap();

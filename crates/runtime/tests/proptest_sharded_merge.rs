@@ -1,0 +1,349 @@
+//! Property-based equivalence for the *sharded* phase-2 merge: for random
+//! multi-worker traces, random contribution orders, and every lane count
+//! in {1, 2, 4, 7}, merging each `page % lanes` shard independently
+//! ([`CheckpointMerge`] fed through [`merge_lane`]) and committing the
+//! lane states must be observationally identical to the serial dense
+//! merge *and* to the per-address [`ReferenceCheckpointMerge`] oracle:
+//! byte-identical committed memory and shadow marks, the identical trap
+//! (kind *and* message) under the engine's minimal-(contribution, byte)
+//! coordinator rule, identical written-byte totals, identically ordered
+//! deferred I/O, and identical reduction-image sequences (the engine
+//! folds images centrally in contribution order for every lane count, so
+//! equal sequences imply equal folded reduction values).
+//!
+//! All three contribution packagings are exercised: pre-bucketed by the
+//! worker ([`DeltaTracker::with_lanes`]), re-bucketed after the fact
+//! ([`Contribution::rebucket`]), and a lane-count mismatch that forces
+//! the merge's on-the-fly page filter.
+
+use privateer_ir::inst::SHADOW_BIT;
+use privateer_ir::{Heap, ReduxOp};
+use privateer_runtime::checkpoint::{
+    collect_contribution, merge_lane, CheckpointMerge, Contribution, DeltaTracker, LaneTrap,
+    ReferenceCheckpointMerge,
+};
+use privateer_runtime::worker::WorkerRuntime;
+use privateer_vm::{AddressSpace, RuntimeIface, Trap};
+use proptest::prelude::*;
+
+const WORKERS: usize = 3;
+const PERIODS: u64 = 2;
+const K: u64 = 12; // iterations per checkpoint period
+const LANE_CHOICES: [usize; 4] = [1, 2, 4, 7];
+
+/// Footprint anchors straddling page boundaries and spanning enough
+/// distinct pages that every lane count in [`LANE_CHOICES`] owns a
+/// non-empty shard for some traces.
+const SLOTS: [u64; 10] = [
+    0xff0, 0xffb, 0x1002, 0x10, 0x1100, 0x2040, 0x3ffc, 0x4100, 0x5008, 0x6f80,
+];
+
+#[derive(Debug, Clone)]
+struct Op {
+    worker: usize,
+    period: u64,
+    pos: u64,
+    slot: usize,
+    size: u64,
+    is_write: bool,
+    val: u8,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0..WORKERS,
+        0..PERIODS,
+        0..K / WORKERS as u64,
+        0..SLOTS.len(),
+        1u64..=8,
+        any::<bool>(),
+        any::<u8>(),
+    )
+        .prop_map(|(worker, period, pos, slot, size, is_write, val)| Op {
+            worker,
+            period,
+            pos,
+            slot,
+            size,
+            is_write,
+            val,
+        })
+}
+
+/// How the sharded pipeline's contributions get their lane buckets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Packaging {
+    /// The worker's tracker bucketed for the merge's lane count.
+    Prebucketed,
+    /// Packaged unbucketed, re-bucketed via [`Contribution::rebucket`].
+    Rebucketed,
+    /// Bucketed for a *different* lane count: the merge must fall back
+    /// to filtering pages on the fly.
+    Mismatched,
+}
+
+struct Worker {
+    rt: WorkerRuntime,
+    mem: AddressSpace,
+    tracker: DeltaTracker,
+    cur_iter: i64,
+}
+
+/// The canonical (single-lane) packaging of a contribution: pages in
+/// ascending base order, one bucket — what a `merge_lanes = 1` worker
+/// would have shipped.
+fn ascending(c: &Contribution) -> Contribution {
+    let mut c = c.clone();
+    c.shadow_pages.sort_by_key(|&(b, _)| b);
+    c.priv_pages.sort_by_key(|&(b, _)| b);
+    c.shadow_lane_starts = vec![0, c.shadow_pages.len()];
+    c.priv_lane_starts = vec![0, c.priv_pages.len()];
+    c
+}
+
+fn priv_range() -> (u64, u64) {
+    let lo = Heap::Private.base();
+    (lo, lo + privateer_runtime::heaps::HEAP_SPAN)
+}
+
+/// The engine's coordinator rule: merge every lane to completion, then
+/// the globally-first trap is the minimal (contribution index, byte
+/// address) key across lanes.
+fn sharded_merge_round(
+    contribs: &[Contribution],
+    lanes: usize,
+    committed: &AddressSpace,
+) -> Result<Vec<CheckpointMerge>, Trap> {
+    let mut merges = Vec::new();
+    let mut first: Option<((usize, u64), LaneTrap)> = None;
+    for lane in 0..lanes {
+        let mut merge = CheckpointMerge::new(0);
+        if let Err((idx, lt)) = merge_lane(&mut merge, contribs, lane, lanes, committed) {
+            let key = (idx, lt.addr);
+            if first.as_ref().is_none_or(|(k, _)| key < *k) {
+                first = Some((key, lt));
+            }
+        }
+        merges.push(merge);
+    }
+    match first {
+        Some((_, lt)) => Err(lt.trap),
+        None => Ok(merges),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sharded_merge_equals_serial_and_reference(
+        mut ops in prop::collection::vec(op_strategy(), 1..64),
+        lane_idx in 0..LANE_CHOICES.len(),
+        packaging_idx in 0..3usize,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let lanes = LANE_CHOICES[lane_idx];
+        let packaging = [
+            Packaging::Prebucketed,
+            Packaging::Rebucketed,
+            Packaging::Mismatched,
+        ][packaging_idx];
+        // The mismatch case buckets for a lane count the merge won't use.
+        let bucket_lanes = match packaging {
+            Packaging::Prebucketed => lanes,
+            Packaging::Rebucketed => 1,
+            Packaging::Mismatched => LANE_CHOICES[(lane_idx + 1) % LANE_CHOICES.len()],
+        };
+        let base = Heap::Private.base() + 0x4000;
+        ops.sort_by_key(|o| (o.worker, o.period, o.pos));
+
+        let mut workers: Vec<Worker> = (0..WORKERS)
+            .map(|w| Worker {
+                rt: WorkerRuntime::new(w, 0.0, 0),
+                mem: AddressSpace::new(),
+                tracker: DeltaTracker::with_lanes(bucket_lanes),
+                cur_iter: -1,
+            })
+            .collect();
+        // One registered reduction object: its per-worker image is
+        // whatever that worker's memory holds at the descriptor, which is
+        // identical input for every pipeline.
+        let redux_obj = [(ReduxOp::SumI64, base + 0x7000, 8u64)];
+
+        let mut committed_sharded = AddressSpace::new();
+        let mut committed_serial = AddressSpace::new();
+        let mut committed_ref = AddressSpace::new();
+
+        for period in 0..PERIODS {
+            for op in ops.iter().filter(|o| o.period == period) {
+                let w = &mut workers[op.worker];
+                let iter = (period * K + op.pos * WORKERS as u64) as i64 + op.worker as i64;
+                if iter != w.cur_iter {
+                    w.cur_iter = iter;
+                    w.rt.begin_iteration(iter, (iter as u64) % K).unwrap();
+                }
+                let addr = base + SLOTS[op.slot];
+                if op.is_write {
+                    if w.rt.private_write(addr, op.size, &mut w.mem).is_ok() {
+                        w.mem.fill(addr, op.size, op.val);
+                    }
+                } else {
+                    let _ = w.rt.private_read(addr, op.size, &mut w.mem);
+                }
+            }
+
+            // Package all three flavors from the identical worker state:
+            // the cumulative contribution for the reference oracle, then
+            // one delta collection (it normalizes, so it runs once) whose
+            // pages feed both the sharded pipeline (bucketed as the
+            // packaging dictates) and the serial pipeline (re-sorted to
+            // the canonical ascending single-lane form). Each
+            // contribution carries deferred I/O and a reduction image so
+            // the central stripping path is exercised too.
+            let mut fulls = Vec::new();
+            let mut sharded = Vec::new();
+            let mut serial = Vec::new();
+            for (w, worker) in workers.iter_mut().enumerate() {
+                let io = vec![(worker.cur_iter, vec![w as u8, period as u8, b'\n'])];
+                fulls.push(collect_contribution(
+                    w,
+                    period,
+                    &worker.mem,
+                    &redux_obj,
+                    io.clone(),
+                ));
+                let delta =
+                    worker
+                        .tracker
+                        .collect(w, period, &mut worker.mem, &redux_obj, io);
+                serial.push(ascending(&delta));
+                sharded.push(match packaging {
+                    Packaging::Rebucketed => delta.rebucket(lanes),
+                    _ => delta,
+                });
+            }
+
+            // One shuffled contribution order shared by all pipelines
+            // (trap selection is order-dependent; any order must agree).
+            let mut order: Vec<usize> = (0..WORKERS).collect();
+            let mut s = shuffle_seed ^ period;
+            for i in (1..WORKERS).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                order.swap(i, (s % (i as u64 + 1)) as usize);
+            }
+            let sharded: Vec<Contribution> =
+                order.iter().map(|&w| sharded[w].clone()).collect();
+            let serial: Vec<Contribution> =
+                order.iter().map(|&w| serial[w].clone()).collect();
+            let fulls: Vec<Contribution> =
+                order.iter().map(|&w| fulls[w].clone()).collect();
+
+            if packaging == Packaging::Mismatched && bucket_lanes != lanes {
+                prop_assert!(sharded.iter().all(|c| c.lanes() == bucket_lanes));
+            }
+
+            // Sharded pipeline: per-lane merges + the coordinator rule.
+            let r_sharded = sharded_merge_round(&sharded, lanes, &committed_sharded);
+
+            // Serial dense pipeline (the `add` path).
+            let mut serial_merge = CheckpointMerge::new(1);
+            let mut r_serial = Ok(());
+            for c in &serial {
+                if r_serial.is_ok() {
+                    r_serial = serial_merge.add(c.clone(), &committed_serial);
+                }
+            }
+
+            // Reference oracle.
+            let mut reference = ReferenceCheckpointMerge::new(1);
+            let mut r_ref = Ok(());
+            for c in &fulls {
+                if r_ref.is_ok() {
+                    r_ref = reference.add(c.clone(), &committed_ref);
+                }
+            }
+
+            match (&r_sharded, &r_serial, &r_ref) {
+                (Err(ts), Err(t1), Err(t2)) => {
+                    prop_assert_eq!(ts, t1, "sharded vs serial trap diverged in period {}", period);
+                    prop_assert_eq!(ts, t2, "sharded vs reference trap diverged in period {}", period);
+                    return Ok(());
+                }
+                (Ok(_), Ok(()), Ok(())) => {}
+                _ => {
+                    return Err(TestCaseError::fail(format!(
+                        "merge verdicts diverged in period {period}: sharded={:?} serial={:?} reference={:?}",
+                        r_sharded.as_ref().map(|_| ()),
+                        r_serial,
+                        r_ref
+                    )));
+                }
+            }
+            let lane_merges = r_sharded.unwrap();
+
+            // Written-byte totals: lane shards partition the written set.
+            let sharded_written: usize =
+                lane_merges.iter().map(|m| m.written_bytes()).sum();
+            prop_assert_eq!(sharded_written, serial_merge.written_bytes());
+            prop_assert_eq!(sharded_written, reference.written_bytes());
+
+            // Reduction images flow per contribution, not per page: the
+            // engine strips them before sharding and folds centrally in
+            // contribution order, byte-identically for every lane count.
+            let stripped: Vec<Vec<Vec<u8>>> =
+                sharded.iter().map(|c| c.redux_images.clone()).collect();
+            let serial_images: Vec<Vec<Vec<u8>>> = (0..serial.len())
+                .map(|i| {
+                    serial_merge
+                        .redux_images
+                        .iter()
+                        .map(|per_obj| per_obj[i].clone())
+                        .collect()
+                })
+                .collect();
+            prop_assert_eq!(&stripped, &serial_images, "reduction images diverged in period {}", period);
+
+            // Deferred I/O: the engine gathers it centrally and sorts by
+            // iteration — identical to the serial merge's commit output.
+            let mut io_sharded: Vec<(i64, Vec<u8>)> =
+                sharded.iter().flat_map(|c| c.io.clone()).collect();
+            io_sharded.sort_by_key(|a| a.0);
+
+            // Commit: lane page sets are disjoint, so committing the lane
+            // states in any fixed order equals the serial commit.
+            for merge in lane_merges {
+                let _ = merge.commit(&mut committed_sharded);
+            }
+            let io_serial = serial_merge.commit(&mut committed_serial);
+            let io_ref = reference.commit(&mut committed_ref);
+            prop_assert_eq!(&io_sharded, &io_serial, "sharded vs serial I/O diverged in period {}", period);
+            prop_assert_eq!(&io_sharded, &io_ref, "sharded vs reference I/O diverged in period {}", period);
+
+            let (lo, hi) = priv_range();
+            prop_assert!(
+                committed_sharded.range_eq(&committed_serial, lo, hi),
+                "sharded vs serial committed bytes diverged in period {period}"
+            );
+            prop_assert!(
+                committed_sharded.range_eq(&committed_ref, lo, hi),
+                "sharded vs reference committed bytes diverged in period {period}"
+            );
+            prop_assert!(
+                committed_sharded.range_eq(
+                    &committed_serial,
+                    lo | SHADOW_BIT,
+                    hi | SHADOW_BIT
+                ),
+                "sharded vs serial shadow marks diverged in period {period}"
+            );
+            prop_assert!(
+                committed_sharded.range_eq(
+                    &committed_ref,
+                    lo | SHADOW_BIT,
+                    hi | SHADOW_BIT
+                ),
+                "sharded vs reference shadow marks diverged in period {period}"
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Verify that relative markdown links in the doc layer resolve.
+
+Usage: check_doc_links.py [ROOT]
+
+Scans README.md, DESIGN.md and docs/*.md (relative to ROOT, default the
+repository root inferred from this script's location) for inline
+markdown links `[text](target)`. Every relative target must exist on
+disk, resolved against the file the link appears in; `#anchors` are
+stripped first. Absolute URLs (http/https/mailto) and pure in-page
+anchors are skipped.
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline links only; reference-style links are not used in this repo.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: pathlib.Path):
+    for name in ("README.md", "DESIGN.md"):
+        p = root / name
+        if p.exists():
+            yield p
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def main():
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        pathlib.Path(__file__).resolve().parent.parent
+    )
+    checked = 0
+    broken = []
+    for md in doc_files(root):
+        for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+            for target in LINK.findall(line):
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                checked += 1
+                if not (md.parent / rel).exists():
+                    broken.append(f"{md.relative_to(root)}:{lineno}: {target}")
+    if broken:
+        sys.exit("error: broken relative links:\n  " + "\n  ".join(broken))
+    print(f"ok: {checked} relative links resolve")
+
+
+if __name__ == "__main__":
+    main()
