@@ -1,0 +1,195 @@
+//! `privfuzz` — the differential workload fuzzer for the speculative
+//! engine.
+//!
+//! Generates seeded random transformed loops and runs each through the
+//! full execution-mode matrix ([`privateer_fuzz::oracle`]): sequential
+//! baseline, the speculative engine at every requested worker ×
+//! merge-lane combination, the reference-merge differential mode, and
+//! seeded virtual-scheduler interleavings. The first divergence is
+//! shrunk to a minimal case and written as a repro file replayable with
+//! `--replay`.
+//!
+//! ```text
+//! privfuzz --seed 42 --cases 500
+//! privfuzz --replay fuzz-failures/privfuzz-42-17.case
+//! ```
+
+use privateer_fuzz::{oracle, run_seeded, CaseSpec, OracleConfig};
+use std::process::ExitCode;
+
+struct Options {
+    seed: u64,
+    cases: u64,
+    workers: Vec<usize>,
+    lanes: Vec<usize>,
+    period: u64,
+    schedule_seeds: u64,
+    out_dir: String,
+    replay: Option<String>,
+}
+
+const USAGE: &str = "\
+usage: privfuzz [options]
+  --seed N           campaign seed (default: 1)
+  --cases N          generated cases to run (default: 200)
+  --workers A,B,..   engine worker counts to cross (default: 2,5)
+  --lanes A,B,..     merge-lane counts to cross (default: 1,4)
+  --period K         checkpoint period in iterations (default: 4)
+  --schedule-seeds N virtual-scheduler interleavings per case (default: 2)
+  --out DIR          directory for repro files on failure (default: .)
+  --replay FILE      re-check one repro file instead of generating
+";
+
+fn parse_list(flag: &str, s: &str) -> Result<Vec<usize>, String> {
+    let v: Result<Vec<usize>, _> = s.split(',').map(str::parse).collect();
+    match v {
+        Ok(v) if !v.is_empty() && v.iter().all(|&x| x > 0) => Ok(v),
+        _ => Err(format!(
+            "{flag}: expected a comma-separated list of positive integers"
+        )),
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        seed: 1,
+        cases: 200,
+        workers: vec![2, 5],
+        lanes: vec![1, 4],
+        period: 4,
+        schedule_seeds: 2,
+        out_dir: ".".to_string(),
+        replay: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--cases" => {
+                opts.cases = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?
+            }
+            "--workers" => opts.workers = parse_list("--workers", &value("--workers")?)?,
+            "--lanes" => opts.lanes = parse_list("--lanes", &value("--lanes")?)?,
+            "--period" => {
+                opts.period = value("--period")?
+                    .parse()
+                    .map_err(|e| format!("--period: {e}"))?;
+                if opts.period == 0 {
+                    return Err("--period must be positive".to_string());
+                }
+            }
+            "--schedule-seeds" => {
+                opts.schedule_seeds = value("--schedule-seeds")?
+                    .parse()
+                    .map_err(|e| format!("--schedule-seeds: {e}"))?
+            }
+            "--out" => opts.out_dir = value("--out")?,
+            "--replay" => opts.replay = Some(value("--replay")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("privfuzz: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let oc = OracleConfig {
+        workers: opts.workers.clone(),
+        lanes: opts.lanes.clone(),
+        checkpoint_period: opts.period,
+        schedule_seeds: opts.schedule_seeds,
+    };
+
+    if let Some(path) = &opts.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("privfuzz: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let spec = match CaseSpec::from_text(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("privfuzz: bad repro file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match oracle::check_case(&spec, &oc) {
+            Ok(report) => {
+                println!(
+                    "replay {path}: PASS ({} misspec(s){})",
+                    report.misspecs,
+                    if report.seq_trapped {
+                        ", genuine trap"
+                    } else {
+                        ""
+                    }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(f) => {
+                eprintln!("replay {path}: FAIL {f}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    println!(
+        "privfuzz: seed {} · {} cases · workers {:?} × lanes {:?} · k={} · {} schedule seed(s)",
+        opts.seed, opts.cases, opts.workers, opts.lanes, opts.period, opts.schedule_seeds
+    );
+    let summary = run_seeded(opts.seed, opts.cases, &oc);
+    println!(
+        "privfuzz: {} case(s) run, {} with misspeculation, {} with genuine traps",
+        summary.cases, summary.cases_with_misspec, summary.cases_trapped
+    );
+    match summary.failure {
+        None => {
+            println!("privfuzz: PASS");
+            ExitCode::SUCCESS
+        }
+        Some(f) => {
+            eprintln!("privfuzz: case {} FAILED: {}", f.index, f.failure);
+            let _ = std::fs::create_dir_all(&opts.out_dir);
+            let orig = format!("{}/privfuzz-{}-{}.case", opts.out_dir, opts.seed, f.index);
+            let min = format!(
+                "{}/privfuzz-{}-{}.min.case",
+                opts.out_dir, opts.seed, f.index
+            );
+            for (path, spec) in [(&orig, &f.spec), (&min, &f.shrunk)] {
+                let mut body = format!(
+                    "# privfuzz repro: seed {} case {} — {}\n",
+                    opts.seed, f.index, f.failure
+                );
+                body.push_str(&spec.to_text());
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("privfuzz: cannot write {path}: {e}");
+                }
+            }
+            eprintln!("privfuzz: repro written to {orig}\nprivfuzz: shrunk repro: {min}");
+            eprintln!("privfuzz: replay with `privfuzz --replay {min}`");
+            ExitCode::FAILURE
+        }
+    }
+}

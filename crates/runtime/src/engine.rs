@@ -11,9 +11,12 @@
 //! recovery from the last valid checkpoint, and resumes parallel
 //! execution.
 
-use crate::checkpoint::{self, CheckpointMerge, Contribution, DeltaTracker, LaneTrap};
+use crate::checkpoint::{
+    self, CheckpointMerge, Contribution, DeltaTracker, LaneTrap, ReferenceCheckpointMerge,
+};
 use crate::heaps::SharedHeaps;
 use crate::model::{self, SimCost};
+use crate::schedule::{SchedPoint, VirtualScheduler};
 use crate::shadow::MAX_PERIOD;
 use crate::worker::{WorkerRuntime, WorkerStats};
 use privateer_ir::inst::SHADOW_BIT;
@@ -57,6 +60,14 @@ pub struct EngineConfig {
     /// trap, exercising the bail-out path of the collection loop.
     #[doc(hidden)]
     pub inject_merge_fault: Option<u64>,
+    /// Differential-testing mode: merge every period with the simple
+    /// per-address [`ReferenceCheckpointMerge`] instead of the dense
+    /// fast path (inline, never sharded, regardless of
+    /// [`Self::merge_lanes`] or the adaptive policy). Commits, traps and
+    /// I/O must be byte-identical to the fast path at any lane count —
+    /// the `privfuzz` oracle pits the two against each other inside the
+    /// full engine.
+    pub reference_merge: bool,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +79,7 @@ impl Default for EngineConfig {
             inject_rate: 0.0,
             inject_seed: 0x5eed,
             inject_merge_fault: None,
+            reference_merge: false,
         }
     }
 }
@@ -289,6 +301,8 @@ struct LaneJob {
     contribs: Arc<Vec<Contribution>>,
     committed: Arc<AddressSpace>,
     lanes: usize,
+    period: u64,
+    sched: Option<Arc<VirtualScheduler>>,
 }
 
 /// One lane's merge result: the lane-local merge state (committed in
@@ -350,7 +364,19 @@ impl MergePool {
                             ts_ns: clock::instant_ns(t0),
                             dur_ns: t0.elapsed().as_nanos() as u64,
                         };
-                        if done.send(out).is_err() {
+                        // Under a virtual scheduler, lane-result arrival
+                        // order is scriptable too (the engine collects
+                        // `lanes` results per period in whatever order
+                        // they land).
+                        let gate = SchedPoint::MergeLane {
+                            lane,
+                            period: job.period,
+                        };
+                        let closed = match &job.sched {
+                            Some(s) => s.run(gate, || done.send(out).is_err()),
+                            None => done.send(out).is_err(),
+                        };
+                        if closed {
                             break;
                         }
                     }
@@ -422,6 +448,7 @@ pub struct MainRuntime {
     out: Vec<u8>,
     inject_phase2: Option<u64>,
     pool: Option<MergePool>,
+    sched: Option<Arc<VirtualScheduler>>,
 }
 
 impl MainRuntime {
@@ -446,6 +473,7 @@ impl MainRuntime {
             out: Vec::new(),
             inject_phase2: None,
             pool: None,
+            sched: None,
         }
     }
 
@@ -469,6 +497,15 @@ impl MainRuntime {
     #[doc(hidden)]
     pub fn inject_phase2_misspec(&mut self, period: u64) {
         self.inject_phase2 = Some(period);
+    }
+
+    /// Attach a [`VirtualScheduler`]: worker iterations, contribution
+    /// sends, misspeculation publications and merge-lane results then
+    /// rendezvous on the scheduler's script, making a chosen interleaving
+    /// deterministic and replayable (see [`crate::schedule`]). The
+    /// scheduler applies to every subsequent invocation until replaced.
+    pub fn set_schedule(&mut self, sched: Arc<VirtualScheduler>) {
+        self.sched = Some(sched);
     }
 
     /// Bytes printed so far (committed output only).
@@ -531,6 +568,7 @@ impl MainRuntime {
         let (tx, rx) = mpsc::channel::<Msg>();
         let cfg = self.cfg;
         let tel = self.tel.clone();
+        let sched = self.sched.clone();
 
         let mut outcome: Result<SpanOutcome, Trap> = Ok(SpanOutcome::Complete);
         let mut committed_through = lo; // first uncommitted iteration
@@ -544,6 +582,7 @@ impl MainRuntime {
                 let flag = &flag;
                 let redux = redux.clone();
                 let wtel = tel.worker(w as u32 + 1);
+                let wsched = sched.clone();
                 scope.spawn(move || {
                     worker_main(
                         w,
@@ -560,6 +599,7 @@ impl MainRuntime {
                         tx,
                         flag,
                         wtel,
+                        wsched,
                     );
                 });
             }
@@ -699,8 +739,36 @@ impl MainRuntime {
                     let mut failed = (cfg.inject_merge_fault == Some(next_commit))
                         .then(|| Trap::Internal("injected merge fault".into()));
                     let mut lane_merges: Vec<CheckpointMerge> = Vec::new();
+                    let mut ref_merge: Option<ReferenceCheckpointMerge> = None;
                     let mut merge_cost = 0u64;
-                    if failed.is_none() {
+                    if failed.is_none() && cfg.reference_merge {
+                        // Differential mode: the simple per-address
+                        // reference merge, inline, never sharded. Pages
+                        // are re-sorted into ascending order first so
+                        // trap selection scans bytes in the same
+                        // canonical order as the fast path does at any
+                        // lane count.
+                        let mut rm = ReferenceCheckpointMerge::new(0);
+                        for c in &contribs {
+                            if let Err(t) = rm.add(ascending_pages(c), mem) {
+                                failed = Some(t);
+                                break;
+                            }
+                        }
+                        merge_cost = rm.written_bytes() as u64 * model::MERGE_BYTE
+                            + contrib_pages_in_merge * model::MERGE_PAGE;
+                        if tel.is_tracing() {
+                            tel.record(SpanEvent {
+                                ts_ns: clock::instant_ns(t0),
+                                dur_ns: (t0.elapsed().as_nanos() as u64).max(1),
+                                phase: Phase::MergeLane,
+                                track: MERGE_LANE_TRACK_BASE,
+                                a: next_commit as i64,
+                                b: contrib_pages_in_merge as i64,
+                            });
+                        }
+                        ref_merge = Some(rm);
+                    } else if failed.is_none() {
                         // Adaptive sharding: estimate both merge formulas
                         // from the per-lane page distribution (read off
                         // the contributions' bucket tables) and merge
@@ -757,6 +825,8 @@ impl MainRuntime {
                                         contribs: Arc::clone(&shared),
                                         committed: Arc::clone(&committed),
                                         lanes,
+                                        period: next_commit,
+                                        sched: sched.clone(),
                                     })
                                     .expect("merge-lane thread alive");
                             }
@@ -871,6 +941,9 @@ impl MainRuntime {
                             // retires in iteration order.
                             for merge in lane_merges {
                                 let _ = merge.commit(mem); // lanes carry no I/O
+                            }
+                            if let Some(rm) = ref_merge.take() {
+                                let _ = rm.commit(mem); // side data was stripped
                             }
                             period_io.sort_by_key(|a| a.0);
                             for (_, bytes) in period_io {
@@ -1004,6 +1077,38 @@ impl MainRuntime {
     }
 }
 
+/// A copy of `c` with its pages in ascending address order in a single
+/// bucket (page `Arc` clones only — no byte copies). The reference merge
+/// scans pages in stored order, so re-canonicalizing makes its trap
+/// selection independent of how many lanes the contribution was
+/// pre-bucketed for.
+fn ascending_pages(c: &Contribution) -> Contribution {
+    let mut shadow_pages = c.shadow_pages.clone();
+    shadow_pages.sort_by_key(|&(b, _)| b);
+    let mut priv_pages = c.priv_pages.clone();
+    priv_pages.sort_by_key(|&(b, _)| b);
+    Contribution {
+        worker: c.worker,
+        period: c.period,
+        shadow_lane_starts: vec![0, shadow_pages.len()],
+        priv_lane_starts: vec![0, priv_pages.len()],
+        shadow_pages,
+        priv_pages,
+        redux_images: Vec::new(),
+        io: Vec::new(),
+    }
+}
+
+/// Run `f` at `point` under the span's virtual scheduler, or directly
+/// when no scheduler is attached (the production path: one `match` on a
+/// `None`).
+fn gated<T>(sched: &Option<Arc<VirtualScheduler>>, point: SchedPoint, f: impl FnOnce() -> T) -> T {
+    match sched {
+        Some(s) => s.run(point, f),
+        None => f(),
+    }
+}
+
 fn combine_images(op: ReduxOp, acc: &mut [u8], img: &[u8]) {
     for (a, b) in acc.chunks_mut(8).zip(img.chunks(8)) {
         if a.len() == 8 && b.len() == 8 {
@@ -1035,6 +1140,7 @@ fn worker_main(
     tx: mpsc::Sender<Msg>,
     flag: &AtomicI64,
     wtel: WorkerTelemetry,
+    sched: Option<Arc<VirtualScheduler>>,
 ) {
     let mut rt = WorkerRuntime::new(w, cfg.inject_rate, cfg.inject_seed);
     rt.tel = wtel;
@@ -1063,11 +1169,16 @@ fn worker_main(
                 break 'periods;
             }
             let t0 = Instant::now();
-            let step = (|| -> Result<(), Trap> {
-                interp.rt.begin_iteration(iter, (iter - pbase) as u64)?;
-                interp.call_function(body, &[Val::Int(iter)])?;
-                interp.rt.end_iteration()
-            })();
+            // The whole step holds the scheduler turn (when scripted),
+            // so everything the iteration publishes is ordered before
+            // the next script entry releases.
+            let step = gated(&sched, SchedPoint::Iter { worker: w, iter }, || {
+                (|| -> Result<(), Trap> {
+                    interp.rt.begin_iteration(iter, (iter - pbase) as u64)?;
+                    interp.call_function(body, &[Val::Int(iter)])?;
+                    interp.rt.end_iteration()
+                })()
+            });
             interp.rt.stats.body_ns += t0.elapsed().as_nanos() as u64;
             interp.rt.tel.span_since(Phase::Iteration, t0, iter, 0);
             if let Err(trap) = step {
@@ -1078,8 +1189,13 @@ fn worker_main(
                     // them, or reproduces a genuine program error.
                     _ => MisspecKind::Fault,
                 };
-                flag.fetch_min(iter, Ordering::SeqCst);
-                let _ = tx.send(Msg::Misspec { iter, kind });
+                // Flag store and detection message publish atomically
+                // under the scheduler turn: a script can order the
+                // squash before or after any other point.
+                gated(&sched, SchedPoint::Misspec { worker: w }, || {
+                    flag.fetch_min(iter, Ordering::SeqCst);
+                    let _ = tx.send(Msg::Misspec { iter, kind });
+                });
                 break 'periods;
             }
             iter += w_count as i64;
@@ -1094,8 +1210,16 @@ fn worker_main(
         interp.rt.stats.checkpoint_ns += t0.elapsed().as_nanos() as u64;
         interp.rt.stats.contrib_pages +=
             (contrib.shadow_pages.len() + contrib.priv_pages.len()) as u64;
-        let _ = tx.send(Msg::Contribution(Box::new(contrib)));
+        gated(&sched, SchedPoint::Contribute { worker: w, period }, || {
+            let _ = tx.send(Msg::Contribution(Box::new(contrib)));
+        });
         period += 1;
+    }
+    // Whatever script entries this worker never reached (it stopped
+    // contributing when a squash ended its span) must not block the rest
+    // of the script.
+    if let Some(s) = &sched {
+        s.retire_worker(w);
     }
     let mut stats = interp.rt.stats;
     stats.insts = interp.stats.insts;

@@ -15,12 +15,16 @@
 //! * [`engine`] — [`engine::MainRuntime`], which implements
 //!   `parallel_invoke` by forking copy-on-write worker address spaces,
 //!   running iterations round-robin, committing checkpoints in order, and
-//!   recovering sequentially after misspeculation (Figure 5).
+//!   recovering sequentially after misspeculation (Figure 5);
+//! * [`schedule`] — [`schedule::VirtualScheduler`], a deterministic
+//!   rendezvous scheduler that turns worker/merge-lane interleavings into
+//!   scripted, replayable data for tests and the `privfuzz` harness.
 
 pub mod checkpoint;
 pub mod engine;
 pub mod heaps;
 pub mod model;
+pub mod schedule;
 pub mod shadow;
 pub mod simple;
 pub mod worker;
@@ -28,5 +32,6 @@ pub mod worker;
 pub use engine::{EngineConfig, EngineEvent, EngineStats, MainRuntime, SequentialPlanRuntime};
 pub use heaps::SharedHeaps;
 pub use model::SimCost;
+pub use schedule::{SchedPoint, VirtualScheduler};
 pub use simple::UncheckedDoallRuntime;
 pub use worker::{WorkerRuntime, WorkerStats};

@@ -172,6 +172,44 @@ mod tests {
     }
 
     #[test]
+    fn sharding_policy_boundary_conditions() {
+        // Empty period: every lane idle, nothing to save — never shard
+        // (and never divide by the zero total).
+        assert!(!sharding_profitable(&[0, 0, 0, 0]));
+        assert!(!sharding_profitable(&[0]));
+
+        // More lanes than dirty pages: most lanes are pure dispatch
+        // overhead, whatever the distribution.
+        assert!(!sharding_profitable(&[1, 0, 0, 0, 0, 0, 0, 0]));
+        assert!(!sharding_profitable(&[1, 1, 0, 0, 0, 0, 0, 0]));
+        assert!(!sharding_profitable(&[1, 1, 1, 1, 1, 1, 1, 1]));
+
+        // Single hot page per off-max lane at growing lane counts: the
+        // savings are (lanes-1)·MERGE_PAGE = 128·(L-1) against a
+        // dispatch bill of 400·L — more lanes never rescue a single-hot-
+        // page skew, no matter how hot the hot lane is.
+        for lanes in 2..=16usize {
+            let mut skew = vec![1u64; lanes];
+            skew[0] = 10_000;
+            assert!(
+                !sharding_profitable(&skew),
+                "single-hot-page skew must merge inline at {lanes} lanes"
+            );
+        }
+
+        // Two-lane break-even: savings are min(a, b)·MERGE_PAGE against
+        // 2·MERGE_LANE_DISPATCH = 800, so the smaller lane must carry
+        // more than 6.25 pages.
+        assert!(!sharding_profitable(&[1000, 6]));
+        assert!(sharding_profitable(&[1000, 7]));
+        assert!(sharding_profitable(&[7, 1000]));
+
+        // The policy reads the distribution, not the lane order.
+        assert!(!sharding_profitable(&[4, 4, 20, 4]));
+        assert!(sharding_profitable(&[5, 4, 20, 5]));
+    }
+
+    #[test]
     fn empty_capacity_is_safe() {
         let (_, _, _, _, sj) = SimCost::default().breakdown();
         assert!((0.0..=1.0).contains(&sj));

@@ -1,12 +1,29 @@
 //! Degenerate and hostile engine configurations: more workers than
 //! iterations, single-iteration checkpoint periods, periods longer than
-//! the loop, genuine program errors under speculation, and misspeculation
-//! on the very last iteration.
+//! the loop, genuine program errors under speculation, misspeculation
+//! on the very last iteration, and a seeded randomized configuration
+//! sweep.
+//!
+//! The suite is fully seed-deterministic: every randomized choice flows
+//! from [`stress_seed`] (override with `STRESS_SEED=<n>` to reproduce a
+//! CI failure locally — the seed is printed in every failure message).
 
+use privateer_fuzz::Rng;
 use privateer_ir::builder::FunctionBuilder;
 use privateer_ir::{CmpOp, Heap, Intrinsic, Module, PlanEntry, Type, Value};
 use privateer_runtime::{EngineConfig, MainRuntime, SequentialPlanRuntime};
 use privateer_vm::{load_module, Interp, NopHooks, Trap};
+
+/// The campaign seed: `STRESS_SEED` from the environment, or a fixed
+/// default so ordinary runs are byte-for-byte reproducible.
+fn stress_seed() -> u64 {
+    match std::env::var("STRESS_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|e| panic!("STRESS_SEED={s:?} is not a u64: {e}")),
+        Err(_) => 0x57_5e55,
+    }
+}
 
 /// body(i): cell[i % 4] = i, with privacy checks; print i.
 fn build(n: i64, divide_by_zero_at: Option<i64>) -> Module {
@@ -140,6 +157,49 @@ fn genuine_error_reproduces_sequentially() {
     assert_eq!(err, Trap::DivByZero);
     // The fault was first observed speculatively.
     assert!(interp.rt.stats.misspecs >= 1);
+}
+
+/// Seeded sweep over random hostile configurations: worker counts,
+/// checkpoint periods (including > n and the 253 clamp), and injected
+/// misspeculation rates, every round checked against the sequential
+/// output. Failures print the campaign seed and the per-round
+/// parameters, so `STRESS_SEED=<seed> cargo test` replays them exactly.
+#[test]
+fn randomized_hostile_configs_agree() {
+    let seed = stress_seed();
+    let mut r = Rng::new(seed);
+    for round in 0..12 {
+        let n = r.range(1, 40);
+        let workers = r.range(1, 17) as usize;
+        let period = match r.below(4) {
+            0 => 1,
+            1 => r.below(4) + 1,
+            2 => n as u64 + r.below(8),
+            _ => 253,
+        };
+        let inject_rate = if r.chance(1, 2) { 0.05 } else { 0.0 };
+        let inject_seed = r.next_u64();
+        let ctx = format!(
+            "STRESS_SEED={seed} round={round}: n={n} workers={workers} \
+             period={period} inject_rate={inject_rate} inject_seed={inject_seed}"
+        );
+
+        let m = build(n, None);
+        let want = expected(&m);
+        let image = load_module(&m);
+        let cfg = EngineConfig {
+            workers,
+            checkpoint_period: period,
+            inject_rate,
+            inject_seed,
+            ..EngineConfig::default()
+        };
+        let mut interp = Interp::new(&m, &image, NopHooks, MainRuntime::new(&image, cfg));
+        interp
+            .run_main()
+            .unwrap_or_else(|e| panic!("{ctx}: trapped {e:?}"));
+        assert_eq!(interp.rt.take_output(), want, "{ctx}");
+    }
 }
 
 #[test]

@@ -10,126 +10,59 @@
 //! memory and shadow marks, identically ordered deferred I/O, equal
 //! written-byte counts, and the identical `Trap` (kind *and* message)
 //! when phase 2 rejects.
+//!
+//! The trace machinery (op strategy, per-worker replay state, the
+//! deterministic order shuffle) lives in [`privateer_fuzz::trace`],
+//! shared with the sharded-merge suite and the `privfuzz` harness.
 
+use privateer_fuzz::trace::{
+    op_strategy, priv_range, shuffled_order, touched_shadow_pages, TraceParams, TraceWorker,
+};
 use privateer_ir::inst::SHADOW_BIT;
 use privateer_ir::Heap;
 use privateer_runtime::checkpoint::{
-    collect_contribution, CheckpointMerge, Contribution, DeltaTracker, ReferenceCheckpointMerge,
+    collect_contribution, CheckpointMerge, DeltaTracker, ReferenceCheckpointMerge,
 };
 use privateer_runtime::shadow;
 use privateer_runtime::worker::WorkerRuntime;
 use privateer_vm::{AddressSpace, RuntimeIface, PAGE_SIZE};
 use proptest::prelude::*;
 
-const WORKERS: usize = 4;
-const PERIODS: u64 = 3;
-const K: u64 = 16; // iterations per checkpoint period
-
 /// Footprint anchors: a cluster straddling the first page boundary of the
 /// region (so single accesses cross pages), plus spots on distinct pages
 /// (so contributions carry several pages and the delta filter has
 /// something to skip once a page goes quiet).
-const SLOTS: [u64; 10] = [
-    0xff0, 0xff5, 0xffb, 0xffe, 0x1002, 0x1009, 0x10, 0x1100, 0x2040, 0x3ffc,
-];
-
-#[derive(Debug, Clone)]
-struct Op {
-    worker: usize,
-    period: u64,
-    pos: u64, // position within the period; the op runs at iteration period·K + pos·WORKERS + worker
-    slot: usize,
-    size: u64,
-    is_write: bool,
-    val: u8,
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    (
-        0..WORKERS,
-        0..PERIODS,
-        0..K / WORKERS as u64,
-        0..SLOTS.len(),
-        1u64..=8,
-        any::<bool>(),
-        any::<u8>(),
-    )
-        .prop_map(|(worker, period, pos, slot, size, is_write, val)| Op {
-            worker,
-            period,
-            pos,
-            slot,
-            size,
-            is_write,
-            val,
-        })
-}
-
-/// One worker's state across the simulated span.
-struct Worker {
-    rt: WorkerRuntime,
-    mem: AddressSpace,
-    tracker: DeltaTracker,
-    cur_iter: i64,
-}
-
-fn priv_range() -> (u64, u64) {
-    let lo = Heap::Private.base();
-    (lo, lo + privateer_runtime::heaps::HEAP_SPAN)
-}
-
-/// Pages of a contribution that actually carry phase-2 content (any
-/// shadow byte above old-write).
-fn touched_shadow_pages(c: &Contribution) -> Vec<u64> {
-    c.shadow_pages
-        .iter()
-        .filter(|(_, p)| p.iter().any(|&b| b > shadow::OLD_WRITE))
-        .map(|&(base, _)| base)
-        .collect()
-}
+const PARAMS: TraceParams = TraceParams {
+    workers: 4,
+    periods: 3,
+    k: 16, // iterations per checkpoint period
+    slots: &[
+        0xff0, 0xff5, 0xffb, 0xffe, 0x1002, 0x1009, 0x10, 0x1100, 0x2040, 0x3ffc,
+    ],
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
     #[test]
     fn delta_dense_pipeline_equals_cumulative_reference(
-        mut ops in prop::collection::vec(op_strategy(), 1..80),
+        mut ops in prop::collection::vec(op_strategy(PARAMS), 1..80),
         shuffle_seed in any::<u64>(),
     ) {
         let base = Heap::Private.base() + 0x4000;
         ops.sort_by_key(|o| (o.worker, o.period, o.pos));
 
-        let mut workers: Vec<Worker> = (0..WORKERS)
-            .map(|w| Worker {
-                rt: WorkerRuntime::new(w, 0.0, 0),
-                mem: AddressSpace::new(),
-                tracker: DeltaTracker::new(),
-                cur_iter: -1,
-            })
+        let mut workers: Vec<TraceWorker> = (0..PARAMS.workers)
+            .map(|w| TraceWorker::fresh(w, 1))
             .collect();
 
         let mut committed_dense = AddressSpace::new();
         let mut committed_ref = AddressSpace::new();
 
-        for period in 0..PERIODS {
+        for period in 0..PARAMS.periods {
             // Replay each worker's slice of the trace for this period.
             for op in ops.iter().filter(|o| o.period == period) {
-                let w = &mut workers[op.worker];
-                let iter = (period * K + op.pos * WORKERS as u64) as i64 + op.worker as i64;
-                if iter != w.cur_iter {
-                    w.cur_iter = iter;
-                    w.rt.begin_iteration(iter, (iter as u64) % K).unwrap();
-                }
-                let addr = base + SLOTS[op.slot];
-                if op.is_write {
-                    // A phase-1 trap squashes the access; partial shadow
-                    // marks it already made are legitimate merge input.
-                    if w.rt.private_write(addr, op.size, &mut w.mem).is_ok() {
-                        w.mem.fill(addr, op.size, op.val);
-                    }
-                } else {
-                    let _ = w.rt.private_read(addr, op.size, &mut w.mem);
-                }
+                workers[op.worker].apply(op, PARAMS, base);
             }
 
             // Collect both flavors from the identical worker state: the
@@ -165,12 +98,7 @@ proptest! {
             // Merge both pipelines with the same shuffled contribution
             // order (trap choice is order-dependent, so the order must
             // match across pipelines — but any order must agree).
-            let mut order: Vec<usize> = (0..WORKERS).collect();
-            let mut s = shuffle_seed ^ period;
-            for i in (1..WORKERS).rev() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                order.swap(i, (s % (i as u64 + 1)) as usize);
-            }
+            let order = shuffled_order(PARAMS.workers, shuffle_seed ^ period);
 
             let mut dense = CheckpointMerge::new(0);
             let mut reference = ReferenceCheckpointMerge::new(0);

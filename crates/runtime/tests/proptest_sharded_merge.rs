@@ -15,129 +15,44 @@
 //! worker ([`DeltaTracker::with_lanes`]), re-bucketed after the fact
 //! ([`Contribution::rebucket`]), and a lane-count mismatch that forces
 //! the merge's on-the-fly page filter.
+//!
+//! The trace machinery (op strategy, per-worker replay state, shuffle,
+//! packaging helpers, the coordinator rule) lives in
+//! [`privateer_fuzz::trace`], shared with the checkpoint suite and the
+//! `privfuzz` harness.
 
+use privateer_fuzz::trace::{
+    ascending, op_strategy, priv_range, sharded_merge_round, shuffled_order, Packaging,
+    TraceParams, TraceWorker,
+};
 use privateer_ir::inst::SHADOW_BIT;
 use privateer_ir::{Heap, ReduxOp};
 use privateer_runtime::checkpoint::{
-    collect_contribution, merge_lane, CheckpointMerge, Contribution, DeltaTracker, LaneTrap,
-    ReferenceCheckpointMerge,
+    collect_contribution, CheckpointMerge, Contribution, ReferenceCheckpointMerge,
 };
-use privateer_runtime::worker::WorkerRuntime;
-use privateer_vm::{AddressSpace, RuntimeIface, Trap};
+use privateer_vm::AddressSpace;
 use proptest::prelude::*;
 
-const WORKERS: usize = 3;
-const PERIODS: u64 = 2;
-const K: u64 = 12; // iterations per checkpoint period
 const LANE_CHOICES: [usize; 4] = [1, 2, 4, 7];
 
 /// Footprint anchors straddling page boundaries and spanning enough
 /// distinct pages that every lane count in [`LANE_CHOICES`] owns a
 /// non-empty shard for some traces.
-const SLOTS: [u64; 10] = [
-    0xff0, 0xffb, 0x1002, 0x10, 0x1100, 0x2040, 0x3ffc, 0x4100, 0x5008, 0x6f80,
-];
-
-#[derive(Debug, Clone)]
-struct Op {
-    worker: usize,
-    period: u64,
-    pos: u64,
-    slot: usize,
-    size: u64,
-    is_write: bool,
-    val: u8,
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    (
-        0..WORKERS,
-        0..PERIODS,
-        0..K / WORKERS as u64,
-        0..SLOTS.len(),
-        1u64..=8,
-        any::<bool>(),
-        any::<u8>(),
-    )
-        .prop_map(|(worker, period, pos, slot, size, is_write, val)| Op {
-            worker,
-            period,
-            pos,
-            slot,
-            size,
-            is_write,
-            val,
-        })
-}
-
-/// How the sharded pipeline's contributions get their lane buckets.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Packaging {
-    /// The worker's tracker bucketed for the merge's lane count.
-    Prebucketed,
-    /// Packaged unbucketed, re-bucketed via [`Contribution::rebucket`].
-    Rebucketed,
-    /// Bucketed for a *different* lane count: the merge must fall back
-    /// to filtering pages on the fly.
-    Mismatched,
-}
-
-struct Worker {
-    rt: WorkerRuntime,
-    mem: AddressSpace,
-    tracker: DeltaTracker,
-    cur_iter: i64,
-}
-
-/// The canonical (single-lane) packaging of a contribution: pages in
-/// ascending base order, one bucket — what a `merge_lanes = 1` worker
-/// would have shipped.
-fn ascending(c: &Contribution) -> Contribution {
-    let mut c = c.clone();
-    c.shadow_pages.sort_by_key(|&(b, _)| b);
-    c.priv_pages.sort_by_key(|&(b, _)| b);
-    c.shadow_lane_starts = vec![0, c.shadow_pages.len()];
-    c.priv_lane_starts = vec![0, c.priv_pages.len()];
-    c
-}
-
-fn priv_range() -> (u64, u64) {
-    let lo = Heap::Private.base();
-    (lo, lo + privateer_runtime::heaps::HEAP_SPAN)
-}
-
-/// The engine's coordinator rule: merge every lane to completion, then
-/// the globally-first trap is the minimal (contribution index, byte
-/// address) key across lanes.
-fn sharded_merge_round(
-    contribs: &[Contribution],
-    lanes: usize,
-    committed: &AddressSpace,
-) -> Result<Vec<CheckpointMerge>, Trap> {
-    let mut merges = Vec::new();
-    let mut first: Option<((usize, u64), LaneTrap)> = None;
-    for lane in 0..lanes {
-        let mut merge = CheckpointMerge::new(0);
-        if let Err((idx, lt)) = merge_lane(&mut merge, contribs, lane, lanes, committed) {
-            let key = (idx, lt.addr);
-            if first.as_ref().is_none_or(|(k, _)| key < *k) {
-                first = Some((key, lt));
-            }
-        }
-        merges.push(merge);
-    }
-    match first {
-        Some((_, lt)) => Err(lt.trap),
-        None => Ok(merges),
-    }
-}
+const PARAMS: TraceParams = TraceParams {
+    workers: 3,
+    periods: 2,
+    k: 12, // iterations per checkpoint period
+    slots: &[
+        0xff0, 0xffb, 0x1002, 0x10, 0x1100, 0x2040, 0x3ffc, 0x4100, 0x5008, 0x6f80,
+    ],
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
     fn sharded_merge_equals_serial_and_reference(
-        mut ops in prop::collection::vec(op_strategy(), 1..64),
+        mut ops in prop::collection::vec(op_strategy(PARAMS), 1..64),
         lane_idx in 0..LANE_CHOICES.len(),
         packaging_idx in 0..3usize,
         shuffle_seed in any::<u64>(),
@@ -157,13 +72,8 @@ proptest! {
         let base = Heap::Private.base() + 0x4000;
         ops.sort_by_key(|o| (o.worker, o.period, o.pos));
 
-        let mut workers: Vec<Worker> = (0..WORKERS)
-            .map(|w| Worker {
-                rt: WorkerRuntime::new(w, 0.0, 0),
-                mem: AddressSpace::new(),
-                tracker: DeltaTracker::with_lanes(bucket_lanes),
-                cur_iter: -1,
-            })
+        let mut workers: Vec<TraceWorker> = (0..PARAMS.workers)
+            .map(|w| TraceWorker::fresh(w, bucket_lanes))
             .collect();
         // One registered reduction object: its per-worker image is
         // whatever that worker's memory holds at the descriptor, which is
@@ -174,22 +84,9 @@ proptest! {
         let mut committed_serial = AddressSpace::new();
         let mut committed_ref = AddressSpace::new();
 
-        for period in 0..PERIODS {
+        for period in 0..PARAMS.periods {
             for op in ops.iter().filter(|o| o.period == period) {
-                let w = &mut workers[op.worker];
-                let iter = (period * K + op.pos * WORKERS as u64) as i64 + op.worker as i64;
-                if iter != w.cur_iter {
-                    w.cur_iter = iter;
-                    w.rt.begin_iteration(iter, (iter as u64) % K).unwrap();
-                }
-                let addr = base + SLOTS[op.slot];
-                if op.is_write {
-                    if w.rt.private_write(addr, op.size, &mut w.mem).is_ok() {
-                        w.mem.fill(addr, op.size, op.val);
-                    }
-                } else {
-                    let _ = w.rt.private_read(addr, op.size, &mut w.mem);
-                }
+                workers[op.worker].apply(op, PARAMS, base);
             }
 
             // Package all three flavors from the identical worker state:
@@ -225,12 +122,7 @@ proptest! {
 
             // One shuffled contribution order shared by all pipelines
             // (trap selection is order-dependent; any order must agree).
-            let mut order: Vec<usize> = (0..WORKERS).collect();
-            let mut s = shuffle_seed ^ period;
-            for i in (1..WORKERS).rev() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                order.swap(i, (s % (i as u64 + 1)) as usize);
-            }
+            let order = shuffled_order(PARAMS.workers, shuffle_seed ^ period);
             let sharded: Vec<Contribution> =
                 order.iter().map(|&w| sharded[w].clone()).collect();
             let serial: Vec<Contribution> =
